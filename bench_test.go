@@ -1,0 +1,436 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation (§IV),
+// each running a scaled-down version of the corresponding experiment
+// pipeline (use cmd/expdriver for the full 557-configuration evaluation).
+// The benches both time the pipelines and assert their structural sanity,
+// so `go test -bench=. -benchmem` doubles as an end-to-end smoke test.
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/redist"
+)
+
+// benchScenarios returns a small cross-class scenario sample.
+func benchScenarios(stride int) []exp.Scenario {
+	return exp.Subsample(exp.Scenarios(), stride)
+}
+
+// BenchmarkTableI_CommMatrix regenerates Table I: the communication matrix
+// of a 10-unit redistribution from 4 to 5 processors, plus a representative
+// large matrix.
+func BenchmarkTableI_CommMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := redist.BlockMatrix(10, 4, 5)
+		if m.At(0, 0) != 2 || m.At(3, 4) != 2 {
+			b.Fatal("Table I corner values wrong")
+		}
+		redist.BlockMatrix(1e9, 47, 120)
+	}
+}
+
+// BenchmarkTableII_Platforms builds the three Table II clusters and their
+// routing structures.
+func BenchmarkTableII_Platforms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, cl := range platform.PaperClusters() {
+			if err := cl.Validate(); err != nil {
+				b.Fatal(err)
+			}
+			caps := cl.LinkCapacities()
+			if len(caps) != cl.NumLinks() {
+				b.Fatal("capacity vector mismatch")
+			}
+		}
+	}
+}
+
+// BenchmarkTableIII_Workloads enumerates and materializes the Table III
+// scenario inventory (one graph per class).
+func BenchmarkTableIII_Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scens := exp.Scenarios()
+		if len(scens) != 557 {
+			b.Fatalf("want 557 scenarios, got %d", len(scens))
+		}
+		for _, idx := range []int{0, 108, 432, 532} {
+			g := scens[idx].Graph()
+			if err := g.Validate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig2_RelativeMakespan runs the naive-parameter comparison
+// (Figure 2) on a grillon subsample.
+func BenchmarkFig2_RelativeMakespan(b *testing.B) {
+	scens := benchScenarios(40)
+	r := exp.NewRunner()
+	cl := platform.Grillon()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig2And3(r, scens, cl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.MakespanRatios) != 2 {
+			b.Fatal("want two RATS series")
+		}
+	}
+}
+
+// BenchmarkFig3_RelativeWork extracts the Figure 3 work ratios from the
+// same pipeline.
+func BenchmarkFig3_RelativeWork(b *testing.B) {
+	scens := benchScenarios(40)
+	r := exp.NewRunner()
+	cl := platform.Grillon()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig2And3(r, scens, cl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.WorkSummary {
+			if s.N == 0 {
+				b.Fatal("empty work summary")
+			}
+		}
+	}
+}
+
+// BenchmarkFig4_DeltaSweep sweeps the (mindelta, maxdelta) grid on FFT
+// DAGs (Figure 4).
+func BenchmarkFig4_DeltaSweep(b *testing.B) {
+	scens := exp.Subsample(exp.ScenariosOf(exp.Scenarios(), exp.FFT), 20)
+	r := exp.NewRunner()
+	cl := platform.Grillon()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := exp.RunDeltaSweep(r, scens, cl, exp.FFT)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, avg := ds.Best(); avg <= 0 {
+			b.Fatal("degenerate sweep")
+		}
+	}
+}
+
+// BenchmarkFig5_RhoSweep sweeps minrho with and without packing on
+// irregular DAGs (Figure 5).
+func BenchmarkFig5_RhoSweep(b *testing.B) {
+	scens := exp.Subsample(exp.ScenariosOf(exp.Scenarios(), exp.Irregular), 60)
+	r := exp.NewRunner()
+	cl := platform.Grillon()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := exp.RunRhoSweep(r, scens, cl, exp.Irregular)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs.PackingOn) != len(exp.MinRhoGrid) {
+			b.Fatal("wrong sweep arity")
+		}
+	}
+}
+
+// BenchmarkTableIV_Tuning runs the full tuning methodology (delta grid +
+// rho grid) for one application type on one cluster.
+func BenchmarkTableIV_Tuning(b *testing.B) {
+	scens := exp.Subsample(exp.ScenariosOf(exp.Scenarios(), exp.Strassen), 5)
+	r := exp.NewRunner()
+	cl := platform.Chti()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, rs, err := exp.RunTuningSweep(r, scens, cl, exp.Strassen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		minD, maxD, _ := ds.Best()
+		rho, _ := rs.Best()
+		if maxD < minD || rho <= 0 {
+			b.Fatal("nonsensical tuned parameters")
+		}
+	}
+}
+
+// tunedSample returns tuned-style parameters for the benchmark subsample
+// (running the full Table IV sweep inside a bench would dominate it).
+func tunedSample() map[exp.AppKind]exp.Tuned {
+	return map[exp.AppKind]exp.Tuned{
+		exp.FFT:       {MinDelta: -0.5, MaxDelta: 1, MinRho: 0.4},
+		exp.Strassen:  {MinDelta: 0, MaxDelta: 1, MinRho: 0.4},
+		exp.Layered:   {MinDelta: -0.25, MaxDelta: 1, MinRho: 0.2},
+		exp.Irregular: {MinDelta: -0.75, MaxDelta: 1, MinRho: 0.5},
+	}
+}
+
+// BenchmarkFig6_TunedMakespan runs the tuned-parameter comparison
+// (Figure 6) on a grillon subsample.
+func BenchmarkFig6_TunedMakespan(b *testing.B) {
+	scens := benchScenarios(40)
+	r := exp.NewRunner()
+	cl := platform.Grillon()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig6And7(r, scens, cl, tunedSample())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.MakespanSummary) != 2 {
+			b.Fatal("want two tuned series")
+		}
+	}
+}
+
+// BenchmarkFig7_TunedWork covers the Figure 7 work metric of the same run.
+func BenchmarkFig7_TunedWork(b *testing.B) {
+	scens := benchScenarios(40)
+	r := exp.NewRunner()
+	cl := platform.Grillon()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig6And7(r, scens, cl, tunedSample())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.WorkSummary[0].N == 0 {
+			b.Fatal("empty work series")
+		}
+	}
+}
+
+// BenchmarkTableV_Pairwise computes the pairwise better/equal/worse counts
+// on one cluster subsample.
+func BenchmarkTableV_Pairwise(b *testing.B) {
+	scens := benchScenarios(40)
+	r := exp.NewRunner()
+	cl := platform.Chti()
+	results, err := r.Run(scens, cl, exp.NaiveAlgos())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms := exp.Makespans(results)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pw := metrics.Pairwise(ms)
+		comb := metrics.Combined(pw, 0)
+		if comb.Better+comb.Equal+comb.Worse < 99.9 {
+			b.Fatal("combined percentages must sum to 100")
+		}
+	}
+}
+
+// BenchmarkTableVI_Degradation computes degradation-from-best on the same
+// result matrix.
+func BenchmarkTableVI_Degradation(b *testing.B) {
+	scens := benchScenarios(40)
+	r := exp.NewRunner()
+	cl := platform.Grelon()
+	results, err := r.Run(scens, cl, exp.NaiveAlgos())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms := exp.Makespans(results)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		deg := metrics.DegradationFromBest(ms)
+		for _, d := range deg {
+			if d.AvgOverAll < 0 {
+				b.Fatal("negative degradation")
+			}
+		}
+	}
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md §6) -------
+
+// BenchmarkAblation_EdgeCostsInCP compares allocation with and without
+// edge costs folded into the critical path.
+func BenchmarkAblation_EdgeCostsInCP(b *testing.B) {
+	benchAblation(b, func(o *exp.Runner, with bool) {
+		o.AllocOptions.IncludeEdgeCosts = with
+	})
+}
+
+// BenchmarkAblation_LevelCap compares allocation with and without the
+// level-aware allocation cap of the HCPA reconstruction.
+func BenchmarkAblation_LevelCap(b *testing.B) {
+	benchAblation(b, func(o *exp.Runner, with bool) {
+		o.AllocOptions.LevelCap = with
+	})
+}
+
+// BenchmarkAblation_Claiming compares RATS-delta with and without the
+// one-adoption-per-parent rule (DESIGN.md §3.5). The measured makespans —
+// reported as custom metrics — show why claiming is load-bearing: without
+// it, siblings serialize on popular parents.
+func BenchmarkAblation_Claiming(b *testing.B) {
+	scens := benchScenarios(80)
+	cl := platform.Grillon()
+	for _, claiming := range []bool{true, false} {
+		name := "claiming"
+		if !claiming {
+			name = "noClaiming"
+		}
+		b.Run(name, func(b *testing.B) {
+			r := exp.NewRunner()
+			spec := exp.Delta(-0.5, 0.5)
+			spec.Map.NoClaiming = !claiming
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				results, err := r.Run(scens, cl, []exp.AlgoSpec{exp.Baseline(), spec})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ms := exp.Makespans(results)
+				mean = metrics.Summarize(metrics.Relative(ms[1], ms[0])).Mean
+			}
+			b.ReportMetric(mean, "ratio-vs-hcpa")
+		})
+	}
+}
+
+// BenchmarkAblation_DeltaEFTGuard compares the delta strategy with and
+// without the finish-time guard on adoptions.
+func BenchmarkAblation_DeltaEFTGuard(b *testing.B) {
+	scens := benchScenarios(80)
+	cl := platform.Grillon()
+	for _, guard := range []bool{true, false} {
+		name := "guard"
+		if !guard {
+			name = "noGuard"
+		}
+		b.Run(name, func(b *testing.B) {
+			r := exp.NewRunner()
+			spec := exp.Delta(-0.5, 0.5)
+			spec.Map.DeltaEFTGuard = guard
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				results, err := r.Run(scens, cl, []exp.AlgoSpec{exp.Baseline(), spec})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ms := exp.Makespans(results)
+				mean = metrics.Summarize(metrics.Relative(ms[1], ms[0])).Mean
+			}
+			b.ReportMetric(mean, "ratio-vs-hcpa")
+		})
+	}
+}
+
+// BenchmarkAblation_PredOverlap compares the paper-faithful baseline
+// (earliest-available processors only) against a stronger fixed-allocation
+// mapper that also evaluates predecessor-anchored candidate sets —
+// quantifying how much of RATS's gain a smarter two-step mapper could
+// recover without adapting allocations.
+func BenchmarkAblation_PredOverlap(b *testing.B) {
+	scens := benchScenarios(80)
+	cl := platform.Grillon()
+	for _, overlap := range []bool{false, true} {
+		name := "earliestOnly"
+		if overlap {
+			name = "predOverlap"
+		}
+		b.Run(name, func(b *testing.B) {
+			r := exp.NewRunner()
+			base := exp.Baseline()
+			strong := exp.Baseline()
+			strong.Name = "HCPA+overlap"
+			strong.Map.PredOverlap = overlap
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				results, err := r.Run(scens, cl, []exp.AlgoSpec{base, strong})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ms := exp.Makespans(results)
+				mean = metrics.Summarize(metrics.Relative(ms[1], ms[0])).Mean
+			}
+			b.ReportMetric(mean, "ratio-vs-hcpa")
+		})
+	}
+}
+
+// BenchmarkAblation_Alignment compares the Hungarian self-communication
+// maximization against greedy and disabled receiver-rank alignment.
+func BenchmarkAblation_Alignment(b *testing.B) {
+	scens := benchScenarios(80)
+	cl := platform.Grillon()
+	modes := []struct {
+		name string
+		mode redist.AlignMode
+	}{{"hungarian", redist.AlignHungarian}, {"greedy", redist.AlignGreedy}, {"none", redist.AlignNone}}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			r := exp.NewRunner()
+			spec := exp.TimeCost(0.5, true)
+			spec.Map.Align = m.mode
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				results, err := r.Run(scens, cl, []exp.AlgoSpec{exp.Baseline(), spec})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ms := exp.Makespans(results)
+				mean = metrics.Summarize(metrics.Relative(ms[1], ms[0])).Mean
+			}
+			b.ReportMetric(mean, "ratio-vs-hcpa")
+		})
+	}
+}
+
+// BenchmarkAblation_SecondarySort compares the §III-C stable secondary
+// ready-list sort (δ / gain) against plain bottom-level ordering.
+func BenchmarkAblation_SecondarySort(b *testing.B) {
+	scens := benchScenarios(80)
+	cl := platform.Grillon()
+	for _, sorted := range []bool{true, false} {
+		name := "secondarySort"
+		if !sorted {
+			name = "blOnly"
+		}
+		b.Run(name, func(b *testing.B) {
+			r := exp.NewRunner()
+			spec := exp.Delta(-0.5, 0.5)
+			spec.Map.SortSecondary = sorted
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				results, err := r.Run(scens, cl, []exp.AlgoSpec{exp.Baseline(), spec})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ms := exp.Makespans(results)
+				mean = metrics.Summarize(metrics.Relative(ms[1], ms[0])).Mean
+			}
+			b.ReportMetric(mean, "ratio-vs-hcpa")
+		})
+	}
+}
+
+func benchAblation(b *testing.B, set func(r *exp.Runner, with bool)) {
+	b.Helper()
+	scens := benchScenarios(80)
+	cl := platform.Grillon()
+	for _, with := range []bool{false, true} {
+		name := "off"
+		if with {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			r := exp.NewRunner()
+			set(r, with)
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Run(scens, cl, exp.NaiveAlgos()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,280 @@
+// Command expdriver regenerates every table and figure of the paper's
+// evaluation section (§IV) and writes them to stdout and to per-experiment
+// files under -out.
+//
+// Usage:
+//
+//	expdriver [-stride N] [-workers N] [-out DIR] [-only LIST]
+//
+// -stride subsamples the 557 application configurations (stride 1 = the
+// full evaluation; stride 4 keeps every 4th configuration) to bound the
+// runtime on small machines. -only selects a comma-separated subset of
+// {tableI,tableII,tableIII,fig23,fig4,fig5,tableIV,fig67,tableV6,extended};
+// "extended" adds a five-way comparison with the CPA and MCPA baselines,
+// which the paper describes (§II-C) but does not evaluate.
+//
+// The experiment pipeline is: HCPA allocation (shared) → {HCPA baseline,
+// RATS-delta, RATS-time-cost} mapping → contention-aware replay on the
+// simulated chti / grillon / grelon clusters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/redist"
+)
+
+func main() {
+	stride := flag.Int("stride", 1, "keep every stride-th scenario (1 = full 557-configuration evaluation)")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	outDir := flag.String("out", "results", "output directory for per-experiment files")
+	only := flag.String("only", "", "comma-separated experiment subset (default: all)")
+	flag.Parse()
+
+	if err := run(*stride, *workers, *outDir, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "expdriver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stride, workers int, outDir, only string) error {
+	want := map[string]bool{}
+	for _, s := range strings.Split(only, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			want[s] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	scens := exp.Subsample(exp.Scenarios(), stride)
+	clusters := platform.PaperClusters()
+	runner := exp.NewRunner()
+	runner.Workers = workers
+	grillon := clusters[1]
+
+	emit := func(name string, render func(w io.Writer) error) error {
+		start := time.Now()
+		f, err := os.Create(filepath.Join(outDir, name+".txt"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := io.MultiWriter(os.Stdout, f)
+		if err := render(w); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(os.Stdout, "-- %s done in %v --\n\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if sel("tableI") {
+		if err := emit("tableI", func(w io.Writer) error {
+			fmt.Fprintln(w, "== Table I: communication matrix, 10 units, p=4 -> q=5 ==")
+			m := redist.BlockMatrix(10, 4, 5)
+			fmt.Fprintf(w, "%6s", "")
+			for j := 1; j <= 5; j++ {
+				fmt.Fprintf(w, " %6s", fmt.Sprintf("q%d", j))
+			}
+			fmt.Fprintln(w)
+			for i := 0; i < 4; i++ {
+				fmt.Fprintf(w, "%6s", fmt.Sprintf("p%d", i+1))
+				for j := 0; j < 5; j++ {
+					if v := m.At(i, j); v > 0 {
+						fmt.Fprintf(w, " %6.1f", v)
+					} else {
+						fmt.Fprintf(w, " %6s", "")
+					}
+				}
+				fmt.Fprintln(w)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if sel("tableII") {
+		if err := emit("tableII", func(w io.Writer) error {
+			exp.WriteTableII(w, clusters)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if sel("tableIII") {
+		if err := emit("tableIII", func(w io.Writer) error {
+			exp.WriteTableIII(w, exp.Scenarios())
+			if stride > 1 {
+				fmt.Fprintf(w, "(this run subsamples with stride %d: %d scenarios)\n", stride, len(scens))
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if sel("fig23") {
+		if err := emit("fig2_fig3", func(w io.Writer) error {
+			res, err := exp.RunFig2And3(runner, scens, grillon)
+			if err != nil {
+				return err
+			}
+			exp.WriteFig23(w, "Fig 2 (makespan) / Fig 3 (work), naive parameters", res)
+			csv, err := os.Create(filepath.Join(outDir, "fig2_fig3.csv"))
+			if err != nil {
+				return err
+			}
+			defer csv.Close()
+			return exp.WriteFig23CSV(csv, res)
+		}); err != nil {
+			return err
+		}
+	}
+
+	if sel("fig4") {
+		if err := emit("fig4", func(w io.Writer) error {
+			ffts := exp.ScenariosOf(scens, exp.FFT)
+			ds, err := exp.RunDeltaSweep(runner, ffts, grillon, exp.FFT)
+			if err != nil {
+				return err
+			}
+			exp.WriteDeltaSweep(w, ds)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if sel("fig5") {
+		if err := emit("fig5", func(w io.Writer) error {
+			irr := exp.ScenariosOf(scens, exp.Irregular)
+			rs, err := exp.RunRhoSweep(runner, irr, grillon, exp.Irregular)
+			if err != nil {
+				return err
+			}
+			exp.WriteRhoSweep(w, rs)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	needTuned := sel("tableIV") || sel("fig67") || sel("tableV6")
+	var tuned *exp.TableIVResult
+	if needTuned {
+		if err := emit("tableIV", func(w io.Writer) error {
+			var err error
+			tuned, err = exp.RunTableIV(runner, scens, clusters)
+			if err != nil {
+				return err
+			}
+			exp.WriteTableIV(w, tuned)
+			return nil
+		}); err != nil {
+			return err
+		}
+		// Preserve the full sweep surfaces behind every Table IV cell
+		// (the Fig 4/5 methodology applied to each application type ×
+		// cluster pair).
+		sweepDir := filepath.Join(outDir, "sweeps")
+		if err := os.MkdirAll(sweepDir, 0o755); err != nil {
+			return err
+		}
+		for _, cl := range tuned.Clusters {
+			for _, kind := range tuned.Kinds {
+				name := fmt.Sprintf("sweep_%s_%s.txt", cl, kind)
+				f, err := os.Create(filepath.Join(sweepDir, name))
+				if err != nil {
+					return err
+				}
+				exp.WriteDeltaSweep(f, tuned.DeltaSweeps[cl][kind])
+				fmt.Fprintln(f)
+				exp.WriteRhoSweep(f, tuned.RhoSweeps[cl][kind])
+				if err := f.Close(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if sel("fig67") {
+		if err := emit("fig6_fig7", func(w io.Writer) error {
+			res, err := exp.RunFig6And7(runner, scens, grillon, tuned.Values[grillon.Name])
+			if err != nil {
+				return err
+			}
+			exp.WriteFig23(w, "Fig 6 (makespan) / Fig 7 (work), tuned parameters", res)
+			csv, err := os.Create(filepath.Join(outDir, "fig6_fig7.csv"))
+			if err != nil {
+				return err
+			}
+			defer csv.Close()
+			return exp.WriteFig23CSV(csv, res)
+		}); err != nil {
+			return err
+		}
+	}
+	if sel("tableV6") {
+		if err := emit("tableV_tableVI", func(w io.Writer) error {
+			tv, tvi, err := exp.RunTableVAndVI(runner, scens, clusters, tuned)
+			if err != nil {
+				return err
+			}
+			exp.WriteTableV(w, tv)
+			fmt.Fprintln(w)
+			exp.WriteTableVI(w, tvi)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	// Extension beyond the paper: five-way comparison adding the CPA and
+	// MCPA first-step baselines of §II-C.
+	if sel("extended") {
+		if err := emit("extended", func(w io.Writer) error {
+			algos := exp.ExtendedAlgos()
+			results, err := runner.Run(scens, grillon, algos)
+			if err != nil {
+				return err
+			}
+			ms := exp.Makespans(results)
+			fmt.Fprintf(w, "== Extended comparison on %s (not in the paper): makespan relative to HCPA ==\n", grillon.Name)
+			if err := writeExtended(w, algos, ms); err != nil {
+				return err
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeExtended prints the summary lines of the extended comparison.
+func writeExtended(w io.Writer, algos []exp.AlgoSpec, ms [][]float64) error {
+	baseIdx := -1
+	for i, a := range algos {
+		if a.Name == "HCPA" {
+			baseIdx = i
+		}
+	}
+	if baseIdx < 0 {
+		return fmt.Errorf("extended comparison needs an HCPA baseline")
+	}
+	deg := metrics.DegradationFromBest(ms)
+	for i, a := range algos {
+		s := metrics.Summarize(metrics.Relative(ms[i], ms[baseIdx]))
+		fmt.Fprintf(w, "%-22s mean ratio %.3f | shorter than HCPA in %5.1f%% | degradation from best %6.2f%% (not best in %d)\n",
+			a.Name, s.Mean, s.ShorterPercent(), deg[i].AvgOverAll, deg[i].NotBest)
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+// Command ratsim schedules one mixed-parallel application on one simulated
+// cluster and reports the outcome of every algorithm: HCPA baseline,
+// RATS-delta and RATS-time-cost.
+//
+// Usage:
+//
+//	ratsim [-app KIND] [-n N] [-k K] [-width W] [-density D] [-regularity R]
+//	       [-jump J] [-seed S] [-cluster NAME] [-gantt] [-algo NAME]
+//
+// Examples:
+//
+//	ratsim -app fft -k 8 -cluster grelon -gantt
+//	ratsim -app irregular -n 50 -width 0.5 -density 0.2 -cluster grillon
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/gen"
+	"repro/internal/moldable"
+	"repro/internal/platform"
+	"repro/internal/simdag"
+	"repro/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "layered", "application kind: layered, irregular, fft, strassen")
+	n := flag.Int("n", 25, "computation tasks (random kinds)")
+	k := flag.Int("k", 8, "FFT data points (power of two)")
+	width := flag.Float64("width", 0.5, "DAG width parameter (random kinds)")
+	density := flag.Float64("density", 0.2, "DAG density parameter")
+	regularity := flag.Float64("regularity", 0.8, "DAG regularity parameter")
+	jump := flag.Int("jump", 1, "jump edge length (irregular)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	clusterName := flag.String("cluster", "grillon", "cluster: chti, grillon, grelon")
+	gantt := flag.Bool("gantt", false, "print a Gantt chart per algorithm")
+	algoFilter := flag.String("algo", "", "run only one algorithm: hcpa, delta, time-cost")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file per algorithm (prefix)")
+	flag.Parse()
+
+	if err := run(*app, *n, *k, *width, *density, *regularity, *jump, *seed, *clusterName, *gantt, *algoFilter, *traceOut); err != nil {
+		fmt.Fprintln(os.Stderr, "ratsim:", err)
+		os.Exit(1)
+	}
+}
+
+func buildGraph(app string, n, k int, width, density, regularity float64, jump int, seed int64) (*dag.Graph, error) {
+	switch app {
+	case "layered":
+		return gen.Random(gen.RandomParams{N: n, Width: width, Density: density, Regularity: regularity, Layered: true, Seed: seed}), nil
+	case "irregular":
+		return gen.Random(gen.RandomParams{N: n, Width: width, Density: density, Regularity: regularity, Jump: jump, Seed: seed}), nil
+	case "fft":
+		return gen.FFT(k, seed), nil
+	case "strassen":
+		return gen.Strassen(seed), nil
+	}
+	return nil, fmt.Errorf("unknown application kind %q", app)
+}
+
+func run(app string, n, k int, width, density, regularity float64, jump int, seed int64, clusterName string, gantt bool, algoFilter, traceOut string) error {
+	cl, err := platform.ByName(clusterName)
+	if err != nil {
+		return err
+	}
+	g, err := buildGraph(app, n, k, width, density, regularity, jump, seed)
+	if err != nil {
+		return err
+	}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	costs := moldable.NewCosts(g, cl.SpeedGFlops)
+	allocation := alloc.Compute(g, costs, cl, alloc.DefaultOptions())
+
+	fmt.Printf("application: %s (%d tasks, %d edges, max width %d)\n",
+		app, g.RealTaskCount(), len(g.Edges), g.MaxWidth())
+	fmt.Printf("cluster    : %s (%d procs @ %.3f GFlop/s)\n\n", cl.Name, cl.P, cl.SpeedGFlops)
+
+	type variant struct {
+		name string
+		opts core.Options
+	}
+	variants := []variant{
+		{"hcpa", core.Options{Strategy: core.StrategyNone, SortSecondary: true}},
+		{"delta", core.DefaultNaive(core.StrategyDelta)},
+		{"time-cost", core.DefaultNaive(core.StrategyTimeCost)},
+	}
+	var base float64
+	for _, v := range variants {
+		if algoFilter != "" && v.name != algoFilter {
+			continue
+		}
+		sched := core.Map(g, costs, cl, allocation, v.opts)
+		res, err := simdag.Execute(g, costs, cl, sched)
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.name, err)
+		}
+		rel := ""
+		if v.name == "hcpa" {
+			base = res.Makespan
+		} else if base > 0 {
+			rel = fmt.Sprintf("  (%.3f of HCPA)", res.Makespan/base)
+		}
+		fmt.Printf("%-10s makespan %8.3f s%s\n", v.name, res.Makespan, rel)
+		fmt.Printf("%-10s estimate %8.3f s, work %.1f proc·s, wire %.3g MB in %d flows\n",
+			"", sched.EstMakespan(), sched.TotalWork, res.RemoteBytes/1e6, res.FlowCount)
+		fmt.Printf("%-10s %s\n", "", trace.Compute(g, sched, res))
+		if gantt {
+			fmt.Println(simdag.Gantt(g, sched, res, 100))
+		}
+		if traceOut != "" {
+			path := fmt.Sprintf("%s-%s.json", traceOut, v.name)
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := trace.ChromeTrace(f, g, sched, res); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("%-10s trace written to %s\n", "", path)
+		}
+		fmt.Println()
+	}
+	return nil
+}

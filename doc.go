@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "Redistribution Aware
+// Two-Step Scheduling for Mixed-Parallel Applications" (Hunold, Rauber,
+// Suter — IEEE Cluster 2008).
+//
+// The library lives under internal/: the RATS scheduling framework
+// (internal/core), the CPA/HCPA/MCPA allocation procedures
+// (internal/alloc), the 1-D block redistribution model (internal/redist),
+// a SimGrid-like flow-level simulator (internal/sim, internal/simdag), the
+// cluster platform model (internal/platform), the workload generators
+// (internal/gen) and the evaluation harness (internal/exp, internal/metrics).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured record. The benchmarks in
+// bench_test.go regenerate a scaled-down version of every table and figure
+// of the paper's evaluation; cmd/expdriver regenerates them in full.
+package repro

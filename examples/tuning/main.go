@@ -1,0 +1,38 @@
+// Tuning: reproduce the §IV-C methodology on a small scenario sample —
+// sweep (mindelta, maxdelta) for the delta strategy and minrho (with and
+// without packing) for the time-cost strategy on irregular workflows, then
+// report the tuned triple as Table IV does.
+//
+// Run with: go run ./examples/tuning   (takes a minute or two)
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/platform"
+)
+
+func main() {
+	cl := platform.Grillon()
+	// Every 12th irregular configuration keeps the example fast while
+	// covering the parameter space.
+	scens := exp.Subsample(exp.ScenariosOf(exp.Scenarios(), exp.Irregular), 12)
+	fmt.Printf("tuning on %d irregular workflows on %s\n\n", len(scens), cl.Name)
+
+	r := exp.NewRunner()
+	ds, rs, err := exp.RunTuningSweep(r, scens, cl, exp.Irregular)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	exp.WriteDeltaSweep(os.Stdout, ds)
+	fmt.Println()
+	exp.WriteRhoSweep(os.Stdout, rs)
+
+	minD, maxD, _ := ds.Best()
+	rho, _ := rs.Best()
+	fmt.Printf("\nTable IV-style tuned triple for (irregular, %s): (%g, %g, %g)\n",
+		cl.Name, minD, maxD, rho)
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"repro/internal/platform"
+	"repro/internal/redist"
+)
+
+// Estimator produces the contention-free time estimates the mapping
+// procedures rely on. The paper points out (§IV-D) that these estimates
+// deliberately ignore network contention — only the replayed simulation
+// accounts for it — and that this is one reason the time-cost strategy
+// gets more accurate as clusters grow.
+type Estimator struct {
+	cl *platform.Cluster
+}
+
+// NewEstimator returns an estimator for the given cluster.
+func NewEstimator(cl *platform.Cluster) *Estimator { return &Estimator{cl: cl} }
+
+// RedistTime estimates the duration of redistributing bytes from the
+// sender processor set to the receiver processor set (both in rank order)
+// under the bounded multi-port model without cross-redistribution
+// contention:
+//
+//	max over nodes of (bytes sent / β_out, bytes received / β_in)
+//	  capped below by the slowest individual flow at its empirical
+//	  bandwidth β', plus the longest route latency involved.
+//
+// Same-set same-size redistributions cost zero (§II-A).
+func (e *Estimator) RedistTime(bytes float64, senders, receivers []int) float64 {
+	if bytes <= 0 || len(senders) == 0 || len(receivers) == 0 {
+		return 0
+	}
+	if len(senders) == len(receivers) && redist.SameSet(senders, receivers) {
+		return 0
+	}
+	flows := redist.Flows(bytes, senders, receivers)
+	out := make(map[int]float64)
+	in := make(map[int]float64)
+	t := 0.0
+	maxLat := 0.0
+	for _, f := range flows {
+		if f.SrcProc == f.DstProc {
+			continue // local copies are free
+		}
+		out[f.SrcProc] += f.Bytes
+		in[f.DstProc] += f.Bytes
+		// An individual flow cannot beat its empirical bandwidth.
+		if bw := e.cl.EffectiveBandwidth(f.SrcProc, f.DstProc); bw > 0 {
+			if ft := f.Bytes / bw; ft > t {
+				t = ft
+			}
+		}
+		if _, lat := e.cl.Route(f.SrcProc, f.DstProc); lat > maxLat {
+			maxLat = lat
+		}
+	}
+	beta := e.cl.LinkBandwidth
+	for _, b := range out {
+		if v := b / beta; v > t {
+			t = v
+		}
+	}
+	for _, b := range in {
+		if v := b / beta; v > t {
+			t = v
+		}
+	}
+	if t == 0 {
+		return 0 // everything was local after all
+	}
+	return t + maxLat
+}
+
+// EdgeTimeSimple is the coarse per-edge communication estimate used inside
+// bottom-level priorities and by the allocation step, where the mapping is
+// still unknown: full volume over one private link plus one route latency.
+func (e *Estimator) EdgeTimeSimple(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return bytes/e.cl.LinkBandwidth + 2*e.cl.LinkLatency
+}

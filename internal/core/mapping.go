@@ -1,0 +1,501 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/moldable"
+	"repro/internal/platform"
+	"repro/internal/redist"
+)
+
+// Strategy selects the redistribution-aware mapping behaviour.
+type Strategy int
+
+const (
+	// StrategyNone is the baseline HCPA mapping: allocations are never
+	// modified; every task is placed on the earliest-available processors.
+	StrategyNone Strategy = iota
+	// StrategyDelta packs/stretches within the ⌈mindelta⌉/⌊maxdelta⌋ bounds
+	// (§III, "delta").
+	StrategyDelta
+	// StrategyTimeCost stretches when the work ratio ρ ≥ minrho and packs
+	// when the estimated finish time does not degrade (§III, "time-cost").
+	StrategyTimeCost
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNone:
+		return "hcpa"
+	case StrategyDelta:
+		return "delta"
+	case StrategyTimeCost:
+		return "time-cost"
+	}
+	return "unknown"
+}
+
+// Options parameterizes the mapping procedures. The zero value is the
+// baseline mapping; DefaultNaive returns the paper's §IV-B configuration.
+type Options struct {
+	Strategy Strategy
+
+	// MinDelta ∈ R−: fraction of the original allocation that packing may
+	// remove (−0.5 ⇒ an allocation of 6 may shrink to 3). Delta strategy.
+	MinDelta float64
+	// MaxDelta ∈ R+: fraction of the original allocation that stretching
+	// may add (0.5 ⇒ an allocation of 6 may grow to 9). Delta strategy.
+	MaxDelta float64
+
+	// MinRho ∈ (0,1]: minimum acceptable work ratio for a stretch.
+	// Time-cost strategy.
+	MinRho float64
+	// Packing enables allocation packing in the time-cost strategy (the
+	// paper finds enabling it always produces shorter schedules, Fig. 5).
+	Packing bool
+
+	// SortSecondary disables the stable secondary sort of the ready list
+	// when false... kept as an explicit knob for the ablation benches.
+	// Default (via the constructors) is true, as in the paper (§III-C).
+	SortSecondary bool
+
+	// Align selects the receiver rank-order optimization used when
+	// expanding redistributions to flows (§II-A self-communication
+	// maximization). Default: Hungarian.
+	Align redist.AlignMode
+
+	// PredOverlap is an ablation of the *baseline* mapping: when true, the
+	// earliest-available processor selection is augmented with candidate
+	// sets overlapping each predecessor's processors (keeping the fixed
+	// allocation size). The paper's baseline does not do this.
+	PredOverlap bool
+
+	// DeltaEFTGuard makes the delta strategy fall back to the baseline
+	// mapping when adopting the selected predecessor's processors would
+	// strictly increase the task's own estimated finish time. Algorithm 1
+	// (line 4) computes "delta / estimate execution time" for every ready
+	// node, which supports guarding even the delta strategy with the
+	// finish-time estimate; without the guard, estimation-free snaps onto
+	// late-available processor sets frequently backfire (an effect §IV-D
+	// acknowledges on large clusters). Enabled by DefaultNaive.
+	DeltaEFTGuard bool
+
+	// NoClaiming is an ablation switch: it disables the one-adoption-per-
+	// parent rule (DESIGN.md §3.5), letting every ready child adopt the
+	// same predecessor's processor set. The paper's results are not
+	// reproducible in this mode — siblings of popular parents serialize —
+	// which is the evidence for the claiming interpretation; the ablation
+	// benches quantify it.
+	NoClaiming bool
+}
+
+// DefaultNaive returns the naive parameter set of §IV-B for a strategy:
+// mindelta = −0.5, maxdelta = 0.5, minrho = 0.5, packing allowed.
+func DefaultNaive(s Strategy) Options {
+	return Options{
+		Strategy:      s,
+		MinDelta:      -0.5,
+		MaxDelta:      0.5,
+		MinRho:        0.5,
+		Packing:       true,
+		SortSecondary: true,
+		Align:         redist.AlignHungarian,
+		DeltaEFTGuard: true,
+	}
+}
+
+// Map runs the mapping phase on graph g with the given first-step
+// allocation and returns the resulting schedule. The allocation slice is
+// not modified (RATS adaptations are recorded in Schedule.Alloc).
+func Map(g *dag.Graph, costs *moldable.Costs, cl *platform.Cluster, alloc []int, opts Options) *Schedule {
+	m := &mapper{
+		g:     g,
+		costs: costs,
+		cl:    cl,
+		est:   NewEstimator(cl),
+		opts:  opts,
+		alloc: append([]int(nil), alloc...),
+	}
+	return m.run()
+}
+
+// mapper holds the mutable state of one mapping run.
+type mapper struct {
+	g     *dag.Graph
+	costs *moldable.Costs
+	cl    *platform.Cluster
+	est   *Estimator
+	opts  Options
+
+	alloc  []int     // working allocation (modified by RATS)
+	procs  [][]int   // assigned processor sets, rank order
+	start  []float64 // estimated start times
+	finish []float64 // estimated finish times
+	avail  []float64 // processor availability
+	mapped []bool
+	order  []int
+	bl     []float64 // static bottom-level priorities
+
+	// claimed[p] is set once a task has inherited predecessor p's
+	// processor set. Each parent allocation can be adopted by at most one
+	// child — the delta strategy "aims at avoiding one data redistribution
+	// per task" (§IV-B) — otherwise every sibling of a popular parent
+	// would pile onto the same processors and serialize. When a claim
+	// happens, the δ/gain values of the remaining ready tasks that were
+	// computed against that parent are recomputed and the list re-sorted
+	// (Algorithm 1, lines 11–12).
+	claimed []bool
+}
+
+func (m *mapper) run() *Schedule {
+	n := m.g.N()
+	m.procs = make([][]int, n)
+	m.start = make([]float64, n)
+	m.finish = make([]float64, n)
+	m.avail = make([]float64, m.cl.P)
+	m.mapped = make([]bool, n)
+	m.order = make([]int, 0, n)
+	m.claimed = make([]bool, n)
+
+	// Static priorities: bottom levels over allocated execution times and
+	// contention-free edge estimates (§II-C).
+	m.bl = m.g.BottomLevels(
+		func(t int) float64 {
+			if m.g.Tasks[t].Virtual {
+				return 0
+			}
+			return m.costs.Time(t, m.alloc[t])
+		},
+		func(e int) float64 { return m.est.EdgeTimeSimple(m.g.Edges[e].Bytes) },
+	)
+
+	remaining := n
+	predsLeft := make([]int, n)
+	for t := 0; t < n; t++ {
+		predsLeft[t] = len(m.g.In(t))
+	}
+	for remaining > 0 {
+		// Wave: every unmapped task whose predecessors are all mapped
+		// (Algorithm 1, lines 3–6).
+		var ready []int
+		for t := 0; t < n; t++ {
+			if !m.mapped[t] && predsLeft[t] == 0 {
+				ready = append(ready, t)
+			}
+		}
+		if len(ready) == 0 {
+			panic("core: no ready task but tasks remain (cyclic graph?)")
+		}
+		m.sortReady(ready)
+		for len(ready) > 0 {
+			t := ready[0]
+			ready = ready[1:]
+			claimedPred := m.place(t)
+			m.mapped[t] = true
+			m.order = append(m.order, t)
+			remaining--
+			for _, s := range m.g.Succs(t) {
+				predsLeft[s]--
+			}
+			// Algorithm 1, lines 11–12: a mapping that adopted a parent
+			// allocation invalidates the δ/gain values of the ready tasks
+			// that shared this parent; recompute by re-sorting the rest.
+			if claimedPred >= 0 && len(ready) > 1 {
+				m.sortReady(ready)
+			}
+		}
+	}
+
+	sched := &Schedule{
+		Alloc:     m.alloc,
+		Procs:     m.procs,
+		Order:     m.order,
+		EstStart:  m.start,
+		EstFinish: m.finish,
+		TotalWork: m.totalWork(),
+	}
+	return sched
+}
+
+func (m *mapper) totalWork() float64 {
+	w := 0.0
+	for t := range m.g.Tasks {
+		if m.g.Tasks[t].Virtual {
+			continue
+		}
+		w += m.costs.Work(t, m.alloc[t])
+	}
+	return w
+}
+
+// sortReady orders a wave: primary decreasing bottom level; secondary
+// (stable, §III-C) increasing δ(t) for delta, decreasing gain(t) for
+// time-cost. Task ID is the final deterministic tie-break.
+func (m *mapper) sortReady(ready []int) {
+	// Primary sort must itself be stable relative to task IDs.
+	sort.SliceStable(ready, func(a, b int) bool {
+		if m.bl[ready[a]] != m.bl[ready[b]] {
+			return m.bl[ready[a]] > m.bl[ready[b]]
+		}
+		return ready[a] < ready[b]
+	})
+	if !m.opts.SortSecondary || m.opts.Strategy == StrategyNone {
+		return
+	}
+	var key func(t int) float64
+	switch m.opts.Strategy {
+	case StrategyDelta:
+		// increasing δ(t) = min(δ+, −δ−): fewer modifications first.
+		key = func(t int) float64 {
+			dPlus, _, dMinus, _ := m.deltas(t)
+			v := math.Inf(1)
+			if dPlus >= 0 {
+				v = float64(dPlus)
+			}
+			if dMinus <= 0 && -float64(dMinus) < v {
+				v = -float64(dMinus)
+			}
+			return v
+		}
+	case StrategyTimeCost:
+		// decreasing gain(t): larger potential time reduction first.
+		key = func(t int) float64 { return -m.gain(t) }
+	}
+	vals := make(map[int]float64, len(ready))
+	for _, t := range ready {
+		vals[t] = key(t)
+	}
+	// Stable secondary sort within groups of equal bottom level.
+	const rel = 1e-12
+	sort.SliceStable(ready, func(a, b int) bool {
+		ba, bb := m.bl[ready[a]], m.bl[ready[b]]
+		tol := rel * math.Max(math.Abs(ba), math.Abs(bb))
+		if math.Abs(ba-bb) > tol {
+			return ba > bb
+		}
+		return vals[ready[a]] < vals[ready[b]]
+	})
+}
+
+// realPreds returns the non-virtual predecessors of t that own processors.
+func (m *mapper) realPreds(t int) []int {
+	var ps []int
+	for _, p := range m.g.Preds(t) {
+		if !m.g.Tasks[p].Virtual && len(m.procs[p]) > 0 {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// inheritablePreds returns the predecessors whose processor sets are still
+// available for adoption (not yet claimed by another child).
+func (m *mapper) inheritablePreds(t int) []int {
+	var ps []int
+	for _, p := range m.realPreds(t) {
+		if m.opts.NoClaiming || !m.claimed[p] {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// deltas returns δ+ (and the predecessor attaining it) over predecessors
+// with Np(pred) ≥ Np(t), and δ− (and its predecessor) over predecessors
+// with Np(pred) < Np(t). A missing side is signalled by δ+ = −1 /
+// δ− = +1.
+func (m *mapper) deltas(t int) (dPlus, predPlus, dMinus, predMinus int) {
+	dPlus, predPlus = -1, -1
+	dMinus, predMinus = +1, -1
+	np := m.alloc[t]
+	for _, p := range m.inheritablePreds(t) {
+		d := len(m.procs[p]) - np
+		if d >= 0 {
+			if dPlus < 0 || d < dPlus {
+				dPlus, predPlus = d, p
+			}
+		} else {
+			if dMinus > 0 || d > dMinus {
+				dMinus, predMinus = d, p
+			}
+		}
+	}
+	return
+}
+
+// gain returns gain(t) = max over predecessors of
+// T(t, Np(t)) − T(t, Np(pred)) (Equation 2).
+func (m *mapper) gain(t int) float64 {
+	if m.g.Tasks[t].Virtual {
+		return 0
+	}
+	base := m.costs.Time(t, m.alloc[t])
+	g := math.Inf(-1)
+	for _, p := range m.inheritablePreds(t) {
+		if v := base - m.costs.Time(t, len(m.procs[p])); v > g {
+			g = v
+		}
+	}
+	if math.IsInf(g, -1) {
+		return 0
+	}
+	return g
+}
+
+// placement is a candidate mapping of one task.
+type placement struct {
+	procs []int
+	est   float64 // earliest start time
+	eft   float64 // estimated finish time
+}
+
+// place decides the processor set of task t (Algorithm 1, lines 8–15) and
+// returns the ID of the predecessor whose allocation was adopted, or −1
+// when the task was mapped with the baseline procedure.
+func (m *mapper) place(t int) int {
+	if m.g.Tasks[t].Virtual {
+		// Virtual tasks are instantaneous and hold no processors: they
+		// start when their last predecessor finishes.
+		est := 0.0
+		for _, e := range m.g.In(t) {
+			if f := m.finish[m.g.Edges[e].From]; f > est {
+				est = f
+			}
+		}
+		m.start[t], m.finish[t] = est, est
+		return -1
+	}
+	best, pred := m.strategyPlacement(t)
+	if best == nil {
+		b := m.baselinePlacement(t)
+		best = &b
+		pred = -1
+	}
+	if pred >= 0 {
+		m.claimed[pred] = true
+	}
+	m.commit(t, *best)
+	return pred
+}
+
+func (m *mapper) commit(t int, pl placement) {
+	m.alloc[t] = len(pl.procs)
+	m.procs[t] = pl.procs
+	m.start[t] = pl.est
+	m.finish[t] = pl.eft
+	for _, p := range pl.procs {
+		m.avail[p] = pl.eft
+	}
+}
+
+// evalOn builds the placement of t on an explicit processor set.
+func (m *mapper) evalOn(t int, procs []int) placement {
+	est := 0.0
+	for _, p := range procs {
+		if m.avail[p] > est {
+			est = m.avail[p]
+		}
+	}
+	for _, e := range m.g.In(t) {
+		pred := m.g.Edges[e].From
+		rt := 0.0
+		if !m.g.Tasks[pred].Virtual {
+			rt = m.est.RedistTime(m.g.Edges[e].Bytes, m.procs[pred], procs)
+		}
+		if v := m.finish[pred] + rt; v > est {
+			est = v
+		}
+	}
+	return placement{procs: procs, est: est, eft: est + m.costs.Time(t, len(procs))}
+}
+
+// baselinePlacement is the HCPA mapping: the Np(t) processors that become
+// available earliest (ties by processor ID), with the rank order aligned
+// to the heaviest predecessor to maximize self-communication. With
+// Options.PredOverlap (ablation), predecessor-anchored candidate sets of
+// the same size are also evaluated and the best estimated finish wins.
+func (m *mapper) baselinePlacement(t int) placement {
+	k := m.alloc[t]
+	if k > m.cl.P {
+		k = m.cl.P
+	}
+	byAvail := m.procsByAvailability()
+	cand := m.alignToHeaviestPred(t, byAvail[:k])
+	best := m.evalOn(t, cand)
+	if m.opts.PredOverlap {
+		for _, pred := range m.realPreds(t) {
+			set := truncateOrExtend(m.procs[pred], byAvail, k)
+			pl := m.evalOn(t, m.alignToHeaviestPred(t, set))
+			if pl.eft < best.eft {
+				best = pl
+			}
+		}
+	}
+	return best
+}
+
+// procsByAvailability returns all processor IDs sorted by (availability,
+// ID).
+func (m *mapper) procsByAvailability() []int {
+	ids := make([]int, m.cl.P)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		if m.avail[ids[a]] != m.avail[ids[b]] {
+			return m.avail[ids[a]] < m.avail[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// truncateOrExtend returns a set of exactly k processors based on base,
+// truncated or extended with the earliest-available processors not already
+// present.
+func truncateOrExtend(base, byAvail []int, k int) []int {
+	out := make([]int, 0, k)
+	seen := make(map[int]bool, k)
+	for _, p := range base {
+		if len(out) == k {
+			break
+		}
+		out = append(out, p)
+		seen[p] = true
+	}
+	for _, p := range byAvail {
+		if len(out) == k {
+			break
+		}
+		if !seen[p] {
+			out = append(out, p)
+			seen[p] = true
+		}
+	}
+	return out
+}
+
+// alignToHeaviestPred permutes the rank order of a processor set to
+// maximize self-communication with the predecessor contributing the most
+// bytes (§II-A). The set itself is unchanged.
+func (m *mapper) alignToHeaviestPred(t int, procs []int) []int {
+	var heavy int = -1
+	var bytes float64
+	for _, e := range m.g.In(t) {
+		pred := m.g.Edges[e].From
+		if m.g.Tasks[pred].Virtual || len(m.procs[pred]) == 0 {
+			continue
+		}
+		if m.g.Edges[e].Bytes > bytes {
+			bytes = m.g.Edges[e].Bytes
+			heavy = pred
+		}
+	}
+	if heavy < 0 || bytes == 0 {
+		return append([]int(nil), procs...)
+	}
+	return redist.AlignReceivers(bytes, m.procs[heavy], procs, m.opts.Align)
+}

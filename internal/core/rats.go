@@ -1,0 +1,140 @@
+package core
+
+import "math"
+
+// strategyPlacement implements the redistribution-aware conditions of
+// Algorithm 1, line 9: if a predecessor allocation matches the delta or
+// time-cost conditions, the task is mapped onto that predecessor's exact
+// processor set (inheriting its rank order, which makes the corresponding
+// redistribution an identity and therefore free). It returns the adopted
+// predecessor alongside the placement, or (nil, −1) when the task should
+// fall back to the baseline HCPA mapping (line 14).
+//
+// Only unclaimed predecessors are candidates: each parent allocation can
+// be inherited once (see mapper.claimed).
+func (m *mapper) strategyPlacement(t int) (*placement, int) {
+	switch m.opts.Strategy {
+	case StrategyDelta:
+		return m.deltaPlacement(t)
+	case StrategyTimeCost:
+		return m.timeCostPlacement(t)
+	}
+	return nil, -1
+}
+
+// deltaBounds converts the mindelta/maxdelta fractions into per-task
+// absolute bounds: with Np(t) = 6 and maxdelta = 0.5 a stretched
+// allocation may have at most 9 processors (δmax = 3); with
+// mindelta = −0.5 a packed allocation has at least 3 (δmin = −3).
+func (m *mapper) deltaBounds(t int) (dMin, dMax int) {
+	np := float64(m.alloc[t])
+	dMax = int(math.Floor(m.opts.MaxDelta*np + 1e-9))
+	dMin = -int(math.Floor(-m.opts.MinDelta*np + 1e-9))
+	return dMin, dMax
+}
+
+// deltaPlacement implements the delta strategy (§III-A/B):
+//
+//  1. compute δ+ (closest unclaimed predecessor with a larger-or-equal
+//     allocation) and δ− (closest unclaimed predecessor with a smaller
+//     allocation);
+//  2. keep the candidates within [δmin, δmax];
+//  3. adopt the modification with the smallest |δ| (a stretch wins ties,
+//     since it also shortens the task), mapping the task onto the selected
+//     predecessor's processors.
+func (m *mapper) deltaPlacement(t int) (*placement, int) {
+	dPlus, predPlus, dMinus, predMinus := m.deltas(t)
+	dMin, dMax := m.deltaBounds(t)
+
+	stretchOK := predPlus >= 0 && dPlus <= dMax
+	packOK := predMinus >= 0 && dMinus >= dMin
+
+	var pred int
+	switch {
+	case stretchOK && packOK:
+		if dPlus <= -dMinus {
+			pred = predPlus
+		} else {
+			pred = predMinus
+		}
+	case stretchOK:
+		pred = predPlus
+	case packOK:
+		pred = predMinus
+	default:
+		return nil, -1
+	}
+	pl := m.evalOn(t, append([]int(nil), m.procs[pred]...))
+	if m.opts.DeltaEFTGuard {
+		if base := m.baselinePlacement(t); base.eft < pl.eft {
+			return nil, -1
+		}
+	}
+	return &pl, pred
+}
+
+// rho returns the time-cost ratio of Equation 1 for executing t on p'
+// processors instead of its original allocation:
+//
+//	ρ = (T(t, Np(t))·Np(t)) / (T(t, p')·p')
+//
+// Under the Amdahl model work is non-decreasing in p, so ρ ≤ 1 for a
+// stretch; values close to 1 mean the execution-time reduction comes at
+// little extra work.
+func (m *mapper) rho(t, pPrime int) float64 {
+	w := m.costs.Work(t, pPrime)
+	if w == 0 {
+		return 0
+	}
+	return m.costs.Work(t, m.alloc[t]) / w
+}
+
+// timeCostPlacement implements the time-cost strategy (§III-A/B):
+//
+//   - Stretch: among unclaimed predecessors with Np(pred) ≥ Np(t), take
+//     the one maximizing ρ; accept if ρ ≥ minrho.
+//   - Pack (when enabled): an unclaimed predecessor with Np(pred) < Np(t)
+//     is accepted only if the estimated finish time is not worse than the
+//     baseline mapping's.
+//
+// When both pass, the candidate with the earliest estimated finish wins.
+func (m *mapper) timeCostPlacement(t int) (*placement, int) {
+	var best *placement
+	bestPred := -1
+	bestEFT := math.Inf(1)
+
+	cands := m.inheritablePreds(t)
+
+	// Stretch candidate: maximize ρ over larger-or-equal predecessors.
+	bestRho := -1.0
+	stretchPred := -1
+	for _, p := range cands {
+		if len(m.procs[p]) < m.alloc[t] {
+			continue
+		}
+		if r := m.rho(t, len(m.procs[p])); r > bestRho {
+			bestRho = r
+			stretchPred = p
+		}
+	}
+	if stretchPred >= 0 && bestRho >= m.opts.MinRho {
+		pl := m.evalOn(t, append([]int(nil), m.procs[stretchPred]...))
+		best, bestPred, bestEFT = &pl, stretchPred, pl.eft
+	}
+
+	// Pack candidates: must not degrade the estimated finish time.
+	if m.opts.Packing {
+		baseline := m.baselinePlacement(t)
+		for _, p := range cands {
+			if len(m.procs[p]) >= m.alloc[t] {
+				continue
+			}
+			pl := m.evalOn(t, append([]int(nil), m.procs[p]...))
+			if pl.eft <= baseline.eft && pl.eft < bestEFT {
+				cp := pl
+				best, bestPred, bestEFT = &cp, p, pl.eft
+			}
+		}
+	}
+	return best, bestPred
+}

@@ -1,0 +1,117 @@
+package dag
+
+// CostFunc gives the (current) execution time of a task, in seconds. The
+// allocation procedures re-evaluate it as allocations evolve.
+type CostFunc func(task int) float64
+
+// EdgeCostFunc gives the estimated communication time of an edge, in
+// seconds. Allocation-time estimates are contention-free.
+type EdgeCostFunc func(edge int) float64
+
+// BottomLevels computes, for every task, the length of the longest path
+// from that task to the exit, *including* the task's own execution time and
+// the edge costs along the path. This is the classic "bottom level" (or
+// "blevel") priority used by CPA, HCPA and RATS: the farther a task is from
+// the end of the application, the more critical it is.
+func (g *Graph) BottomLevels(cost CostFunc, edgeCost EdgeCostFunc) []float64 {
+	order, ok := g.TopoOrder()
+	if !ok {
+		return nil
+	}
+	bl := make([]float64, g.N())
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		best := 0.0
+		for _, e := range g.out[t] {
+			v := edgeCost(e) + bl[g.Edges[e].To]
+			if v > best {
+				best = v
+			}
+		}
+		bl[t] = cost(t) + best
+	}
+	return bl
+}
+
+// TopLevels computes, for every task, the length of the longest path from
+// the entry up to (but excluding) the task itself.
+func (g *Graph) TopLevels(cost CostFunc, edgeCost EdgeCostFunc) []float64 {
+	order, ok := g.TopoOrder()
+	if !ok {
+		return nil
+	}
+	tl := make([]float64, g.N())
+	for _, t := range order {
+		for _, e := range g.in[t] {
+			from := g.Edges[e].From
+			v := tl[from] + cost(from) + edgeCost(e)
+			if v > tl[t] {
+				tl[t] = v
+			}
+		}
+	}
+	return tl
+}
+
+// CriticalPathLength returns C∞, the length of the critical path: the
+// maximum over tasks of bottom level, which for a single-entry DAG is the
+// bottom level of the entry.
+func (g *Graph) CriticalPathLength(cost CostFunc, edgeCost EdgeCostFunc) float64 {
+	bl := g.BottomLevels(cost, edgeCost)
+	best := 0.0
+	for _, v := range bl {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// CriticalPath returns one critical path as a sequence of task IDs from the
+// entry to the exit, following at each step the successor that preserves
+// the bottom-level recurrence. The boolean slice marks every task that lies
+// on *some* critical path (within a relative tolerance), which is what the
+// CPA allocation loop iterates over.
+func (g *Graph) CriticalPath(cost CostFunc, edgeCost EdgeCostFunc) (path []int, onCP []bool) {
+	bl := g.BottomLevels(cost, edgeCost)
+	tl := g.TopLevels(cost, edgeCost)
+	if bl == nil {
+		return nil, nil
+	}
+	cp := 0.0
+	var start int
+	for t, v := range bl {
+		if v > cp {
+			cp = v
+			start = t
+		}
+	}
+	const rel = 1e-9
+	tol := cp * rel
+	onCP = make([]bool, g.N())
+	for t := range onCP {
+		// t is on a critical path iff tl(t) + bl(t) == C∞.
+		if tl[t]+bl[t] >= cp-tol {
+			onCP[t] = true
+		}
+	}
+	// Walk one path greedily.
+	t := start
+	path = append(path, t)
+	for len(g.out[t]) > 0 {
+		next := -1
+		for _, e := range g.out[t] {
+			to := g.Edges[e].To
+			if edgeCost(e)+bl[to] >= bl[t]-cost(t)-tol {
+				next = to
+				break
+			}
+		}
+		if next < 0 {
+			break
+		}
+		t = next
+		path = append(path, t)
+	}
+	return path, onCP
+}

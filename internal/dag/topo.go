@@ -1,0 +1,109 @@
+package dag
+
+// TopoOrder returns a topological order of the tasks (Kahn's algorithm) and
+// whether the graph is acyclic. Ties are broken by ascending task ID so the
+// order is deterministic. The result is memoized until the graph changes;
+// callers must not mutate the returned slice.
+func (g *Graph) TopoOrder() ([]int, bool) {
+	if g.topoValid {
+		return g.topoCache, g.topoOK
+	}
+	order, ok := g.topoOrderSlow()
+	g.topoCache, g.topoOK, g.topoValid = order, ok, true
+	return order, ok
+}
+
+func (g *Graph) topoOrderSlow() ([]int, bool) {
+	n := g.N()
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.in[i])
+	}
+	// Min-ID frontier kept as a simple ordered insertion into a ready list;
+	// for the graph sizes at play (≤ a few hundred tasks) this is cheaper
+	// than a heap and keeps the order deterministic.
+	var ready []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		// pop smallest ID
+		min := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i] < ready[min] {
+				min = i
+			}
+		}
+		t := ready[min]
+		ready[min] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, t)
+		for _, e := range g.out[t] {
+			to := g.Edges[e].To
+			indeg[to]--
+			if indeg[to] == 0 {
+				ready = append(ready, to)
+			}
+		}
+	}
+	return order, len(order) == n
+}
+
+// Levels assigns each task its precedence level: entry tasks are at level 0
+// and level(t) = 1 + max over predecessors. Virtual tasks participate like
+// any other node. The second return value is the number of levels.
+func (g *Graph) Levels() ([]int, int) {
+	order, ok := g.TopoOrder()
+	if !ok {
+		return nil, 0
+	}
+	lvl := make([]int, g.N())
+	max := 0
+	for _, t := range order {
+		for _, e := range g.in[t] {
+			from := g.Edges[e].From
+			if lvl[from]+1 > lvl[t] {
+				lvl[t] = lvl[from] + 1
+			}
+		}
+		if lvl[t] > max {
+			max = lvl[t]
+		}
+	}
+	return lvl, max + 1
+}
+
+// LevelSets groups task IDs by precedence level.
+func (g *Graph) LevelSets() [][]int {
+	lvl, n := g.Levels()
+	if lvl == nil {
+		return nil
+	}
+	sets := make([][]int, n)
+	for t, l := range lvl {
+		sets[l] = append(sets[l], t)
+	}
+	return sets
+}
+
+// MaxWidth returns the size of the largest precedence level, i.e. the
+// maximum task parallelism of the DAG, counting only non-virtual tasks.
+func (g *Graph) MaxWidth() int {
+	sets := g.LevelSets()
+	w := 0
+	for _, s := range sets {
+		real := 0
+		for _, t := range s {
+			if !g.Tasks[t].Virtual {
+				real++
+			}
+		}
+		if real > w {
+			w = real
+		}
+	}
+	return w
+}

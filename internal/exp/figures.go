@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/platform"
+)
+
+// Fig23Result carries the data behind the relative-makespan/relative-work
+// scatter figures: Figures 2 and 3 (naive parameters) and Figures 6 and 7
+// (tuned parameters). Ratios are against the HCPA baseline and sorted
+// independently, as in the paper.
+type Fig23Result struct {
+	Cluster   string
+	AlgoNames []string // the two RATS variants
+
+	MakespanRatios [][]float64 // [algo][scenario], sorted ascending
+	WorkRatios     [][]float64
+
+	MakespanSummary []metrics.Summary
+	WorkSummary     []metrics.Summary
+}
+
+// relativeFig assembles a Fig23Result from a raw result matrix whose
+// algorithm 0 is the baseline.
+func relativeFig(cl *platform.Cluster, algos []AlgoSpec, results [][]RunResult) *Fig23Result {
+	ms := Makespans(results)
+	wk := Works(results)
+	out := &Fig23Result{Cluster: cl.Name}
+	for a := 1; a < len(algos); a++ {
+		mr := metrics.Relative(ms[a], ms[0])
+		wr := metrics.Relative(wk[a], wk[0])
+		out.AlgoNames = append(out.AlgoNames, algos[a].Name)
+		out.MakespanRatios = append(out.MakespanRatios, metrics.Sorted(mr))
+		out.WorkRatios = append(out.WorkRatios, metrics.Sorted(wr))
+		out.MakespanSummary = append(out.MakespanSummary, metrics.Summarize(mr))
+		out.WorkSummary = append(out.WorkSummary, metrics.Summarize(wr))
+	}
+	return out
+}
+
+// RunFig2And3 reproduces Figures 2 and 3: the naive-parameter comparison
+// (delta with mindelta = maxdelta = 0.5; time-cost with minrho = 0.5 and
+// packing allowed) of RATS against HCPA on one cluster.
+func RunFig2And3(r *Runner, scens []Scenario, cl *platform.Cluster) (*Fig23Result, error) {
+	algos := NaiveAlgos()
+	results, err := r.Run(scens, cl, algos)
+	if err != nil {
+		return nil, err
+	}
+	return relativeFig(cl, algos, results), nil
+}
+
+// Paper sweep grids (§IV-C).
+var (
+	// MinDeltaGrid and MaxDeltaGrid are Figure 4's axes. maxdelta also
+	// takes 1 ("allowing to remove all the processors of an allocation
+	// when packing does not make sense", hence no −1 for mindelta).
+	MinDeltaGrid = []float64{0, -0.25, -0.5, -0.75}
+	MaxDeltaGrid = []float64{0, 0.25, 0.5, 0.75, 1}
+	// MinRhoGrid is Figure 5's axis.
+	MinRhoGrid = []float64{0.2, 0.4, 0.5, 0.6, 0.8, 1.0}
+)
+
+// DeltaSweepResult is the (mindelta, maxdelta) surface of Figure 4:
+// average makespan relative to HCPA.
+type DeltaSweepResult struct {
+	Cluster   string
+	Kind      AppKind
+	MinDeltas []float64
+	MaxDeltas []float64
+	AvgRel    [][]float64 // [iMinDelta][iMaxDelta]
+}
+
+// Best returns the (mindelta, maxdelta) pair minimizing the average
+// relative makespan.
+func (d *DeltaSweepResult) Best() (minDelta, maxDelta, avg float64) {
+	best := -1
+	bi, bj := 0, 0
+	for i := range d.AvgRel {
+		for j := range d.AvgRel[i] {
+			if best < 0 || d.AvgRel[i][j] < d.AvgRel[bi][bj] {
+				best, bi, bj = 1, i, j
+			}
+		}
+	}
+	return d.MinDeltas[bi], d.MaxDeltas[bj], d.AvgRel[bi][bj]
+}
+
+// RunDeltaSweep reproduces the Figure 4 methodology for any scenario set:
+// it evaluates every (mindelta, maxdelta) pair of the paper's grid and
+// reports the average makespan relative to HCPA. Figure 4 itself uses FFT
+// DAGs on grillon; Table IV applies the same sweep to every application
+// type × cluster pair.
+func RunDeltaSweep(r *Runner, scens []Scenario, cl *platform.Cluster, kind AppKind) (*DeltaSweepResult, error) {
+	algos := []AlgoSpec{Baseline()}
+	for _, md := range MinDeltaGrid {
+		for _, xd := range MaxDeltaGrid {
+			algos = append(algos, Delta(md, xd))
+		}
+	}
+	results, err := r.Run(scens, cl, algos)
+	if err != nil {
+		return nil, err
+	}
+	ms := Makespans(results)
+	out := &DeltaSweepResult{
+		Cluster:   cl.Name,
+		Kind:      kind,
+		MinDeltas: MinDeltaGrid,
+		MaxDeltas: MaxDeltaGrid,
+		AvgRel:    make([][]float64, len(MinDeltaGrid)),
+	}
+	idx := 1
+	for i := range MinDeltaGrid {
+		out.AvgRel[i] = make([]float64, len(MaxDeltaGrid))
+		for j := range MaxDeltaGrid {
+			out.AvgRel[i][j] = metrics.Summarize(metrics.Relative(ms[idx], ms[0])).Mean
+			idx++
+		}
+	}
+	return out, nil
+}
+
+// RhoSweepResult is Figure 5: average relative makespan as minrho varies,
+// with and without packing.
+type RhoSweepResult struct {
+	Cluster    string
+	Kind       AppKind
+	MinRhos    []float64
+	PackingOn  []float64
+	PackingOff []float64
+}
+
+// Best returns the minrho minimizing the packing-on curve.
+func (r *RhoSweepResult) Best() (minRho, avg float64) {
+	bi := 0
+	for i := range r.PackingOn {
+		if r.PackingOn[i] < r.PackingOn[bi] {
+			bi = i
+		}
+	}
+	return r.MinRhos[bi], r.PackingOn[bi]
+}
+
+// RunRhoSweep reproduces Figure 5's methodology: the time-cost strategy
+// across the minrho grid, packing enabled and disabled. Figure 5 itself
+// uses irregular random DAGs on grillon.
+func RunRhoSweep(r *Runner, scens []Scenario, cl *platform.Cluster, kind AppKind) (*RhoSweepResult, error) {
+	algos := []AlgoSpec{Baseline()}
+	for _, rho := range MinRhoGrid {
+		algos = append(algos, TimeCost(rho, true))
+	}
+	for _, rho := range MinRhoGrid {
+		algos = append(algos, TimeCost(rho, false))
+	}
+	results, err := r.Run(scens, cl, algos)
+	if err != nil {
+		return nil, err
+	}
+	ms := Makespans(results)
+	out := &RhoSweepResult{Cluster: cl.Name, Kind: kind, MinRhos: MinRhoGrid}
+	for i := range MinRhoGrid {
+		on := metrics.Summarize(metrics.Relative(ms[1+i], ms[0])).Mean
+		off := metrics.Summarize(metrics.Relative(ms[1+len(MinRhoGrid)+i], ms[0])).Mean
+		out.PackingOn = append(out.PackingOn, on)
+		out.PackingOff = append(out.PackingOff, off)
+	}
+	return out, nil
+}

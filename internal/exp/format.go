@@ -1,0 +1,230 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/platform"
+)
+
+// WriteFig23 renders a Fig23Result as text: summaries in the paper's
+// vocabulary plus deciles of the sorted ratio curves.
+func WriteFig23(w io.Writer, title string, res *Fig23Result) {
+	fmt.Fprintf(w, "== %s (cluster %s) ==\n", title, res.Cluster)
+	for a, name := range res.AlgoNames {
+		ms := res.MakespanSummary[a]
+		ws := res.WorkSummary[a]
+		fmt.Fprintf(w, "%-22s makespan: mean ratio %.3f (%.1f%% shorter on avg), shorter in %.1f%% of %d scenarios\n",
+			name, ms.Mean, ms.MeanImprovementPercent(), ms.ShorterPercent(), ms.N)
+		fmt.Fprintf(w, "%-22s     work: mean ratio %.3f, lower in %.1f%% of scenarios\n",
+			"", ws.Mean, 100*float64(ws.ShorterCount)/float64(max(ws.N, 1)))
+		fmt.Fprintf(w, "%-22s makespan ratio deciles:", "")
+		curve := res.MakespanRatios[a]
+		for d := 0; d <= 10; d++ {
+			idx := d * (len(curve) - 1) / 10
+			fmt.Fprintf(w, " %.2f", curve[idx])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteFig23CSV emits the full sorted ratio curves (one row per rank), the
+// machine-readable form of Figures 2/3/6/7.
+func WriteFig23CSV(w io.Writer, res *Fig23Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"rank"}
+	for _, n := range res.AlgoNames {
+		header = append(header, n+"_makespan_ratio", n+"_work_ratio")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	n := 0
+	if len(res.MakespanRatios) > 0 {
+		n = len(res.MakespanRatios[0])
+	}
+	for i := 0; i < n; i++ {
+		row := []string{strconv.Itoa(i)}
+		for a := range res.AlgoNames {
+			row = append(row,
+				strconv.FormatFloat(res.MakespanRatios[a][i], 'f', 6, 64),
+				strconv.FormatFloat(res.WorkRatios[a][i], 'f', 6, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteDeltaSweep renders Figure 4's surface as a table: rows = mindelta,
+// columns = maxdelta, cells = average makespan relative to HCPA.
+func WriteDeltaSweep(w io.Writer, res *DeltaSweepResult) {
+	fmt.Fprintf(w, "== Fig 4: delta sweep, %s DAGs on %s (avg makespan relative to HCPA) ==\n",
+		res.Kind, res.Cluster)
+	fmt.Fprintf(w, "%10s", "min\\max")
+	for _, xd := range res.MaxDeltas {
+		fmt.Fprintf(w, " %8.2f", xd)
+	}
+	fmt.Fprintln(w)
+	for i, md := range res.MinDeltas {
+		fmt.Fprintf(w, "%10.2f", md)
+		for j := range res.MaxDeltas {
+			fmt.Fprintf(w, " %8.4f", res.AvgRel[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+	minD, maxD, avg := res.Best()
+	fmt.Fprintf(w, "best: mindelta=%g maxdelta=%g (avg ratio %.4f)\n", minD, maxD, avg)
+}
+
+// WriteRhoSweep renders Figure 5's two curves.
+func WriteRhoSweep(w io.Writer, res *RhoSweepResult) {
+	fmt.Fprintf(w, "== Fig 5: minrho sweep, %s DAGs on %s (avg makespan relative to HCPA) ==\n",
+		res.Kind, res.Cluster)
+	fmt.Fprintf(w, "%8s %12s %12s\n", "minrho", "packing on", "packing off")
+	for i, rho := range res.MinRhos {
+		fmt.Fprintf(w, "%8.2f %12.4f %12.4f\n", rho, res.PackingOn[i], res.PackingOff[i])
+	}
+	rho, avg := res.Best()
+	fmt.Fprintf(w, "best: minrho=%g with packing (avg ratio %.4f)\n", rho, avg)
+}
+
+// WriteTableIV renders the tuned-parameter table in the paper's layout:
+// one row per cluster, one column per application type, cells holding
+// (mindelta, maxdelta, minrho).
+func WriteTableIV(w io.Writer, res *TableIVResult) {
+	fmt.Fprintln(w, "== Table IV: tuned (mindelta, maxdelta, minrho) per application type and cluster ==")
+	fmt.Fprintf(w, "%-10s", "")
+	for _, k := range res.Kinds {
+		fmt.Fprintf(w, " %-22s", k)
+	}
+	fmt.Fprintln(w)
+	for _, cl := range res.Clusters {
+		fmt.Fprintf(w, "%-10s", cl)
+		for _, k := range res.Kinds {
+			t := res.Values[cl][k]
+			fmt.Fprintf(w, " (%5.2f, %.2f, %.2f)    ", t.MinDelta, t.MaxDelta, t.MinRho)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteTableV renders the pairwise comparison table: each cell holds the
+// chti / grillon / grelon counts, matching the paper's presentation.
+func WriteTableV(w io.Writer, res *TableVResult) {
+	fmt.Fprintln(w, "== Table V: pair-wise comparison (cells: "+joinClusters(res.Clusters)+") ==")
+	names := res.AlgoNames
+	for i, row := range names {
+		fmt.Fprintf(w, "%-10s\n", row)
+		for _, rel := range []string{"better", "equal", "worse"} {
+			fmt.Fprintf(w, "  %-8s", rel)
+			for j, col := range names {
+				if i == j {
+					fmt.Fprintf(w, " %-22s", "XXX")
+					continue
+				}
+				var vals []string
+				for _, cl := range res.Clusters {
+					c := res.Pairwise[cl][i][j]
+					switch rel {
+					case "better":
+						vals = append(vals, strconv.Itoa(c.Better))
+					case "equal":
+						vals = append(vals, strconv.Itoa(c.Equal))
+					default:
+						vals = append(vals, strconv.Itoa(c.Worse))
+					}
+				}
+				fmt.Fprintf(w, " %-22s", join3(vals))
+				_ = col
+			}
+			// combined column (percent).
+			var vals []string
+			for _, cl := range res.Clusters {
+				cp := res.Combined[cl][i]
+				switch rel {
+				case "better":
+					vals = append(vals, fmt.Sprintf("%.1f", cp.Better))
+				case "equal":
+					vals = append(vals, fmt.Sprintf("%.1f", cp.Equal))
+				default:
+					vals = append(vals, fmt.Sprintf("%.1f", cp.Worse))
+				}
+			}
+			fmt.Fprintf(w, " | combined %% %s", join3(vals))
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// WriteTableVI renders the degradation-from-best table.
+func WriteTableVI(w io.Writer, res *TableVIResult) {
+	fmt.Fprintln(w, "== Table VI: average degradation from best ==")
+	fmt.Fprintf(w, "%-10s %-18s", "cluster", "metric")
+	for _, n := range res.AlgoNames {
+		fmt.Fprintf(w, " %12s", n)
+	}
+	fmt.Fprintln(w)
+	for _, cl := range res.Clusters {
+		deg := res.Degradation[cl]
+		fmt.Fprintf(w, "%-10s %-18s", cl, "avg over all exp.")
+		for _, d := range deg {
+			fmt.Fprintf(w, " %11.2f%%", d.AvgOverAll)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-10s %-18s", "", "# not best")
+		for _, d := range deg {
+			fmt.Fprintf(w, " %12d", d.NotBest)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-10s %-18s", "", "avg over not best")
+		for _, d := range deg {
+			fmt.Fprintf(w, " %11.2f%%", d.AvgOverNotBest)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteTableII echoes the cluster presets (Table II is an input, not a
+// result; echoing it documents what the simulator ran on).
+func WriteTableII(w io.Writer, clusters []*platform.Cluster) {
+	fmt.Fprintln(w, "== Table II: cluster characteristics ==")
+	fmt.Fprintf(w, "%-10s %8s %12s %10s\n", "cluster", "#proc", "GFlop/s", "topology")
+	for _, c := range clusters {
+		topo := "flat switch"
+		if c.Hierarchical() {
+			topo = fmt.Sprintf("%d cabinets×%d", c.Cabinets(), c.CabinetSize)
+		}
+		fmt.Fprintf(w, "%-10s %8d %12.3f %10s\n", c.Name, c.P, c.SpeedGFlops, topo)
+	}
+}
+
+// WriteTableIII echoes the scenario inventory with per-class counts.
+func WriteTableIII(w io.Writer, scens []Scenario) {
+	fmt.Fprintln(w, "== Table III: application configurations ==")
+	counts := map[AppKind]int{}
+	for _, s := range scens {
+		counts[s.Kind]++
+	}
+	for _, k := range []AppKind{Layered, Irregular, FFT, Strassen} {
+		fmt.Fprintf(w, "%-10s %4d\n", k, counts[k])
+	}
+	fmt.Fprintf(w, "%-10s %4d\n", "total", len(scens))
+}
+
+func join3(vals []string) string {
+	out := ""
+	for i, v := range vals {
+		if i > 0 {
+			out += " / "
+		}
+		out += v
+	}
+	return out
+}
+
+func joinClusters(cs []string) string { return join3(cs) }

@@ -1,0 +1,113 @@
+package exp
+
+// Integration tests pinning the qualitative reproduction claims of §IV on
+// a deterministic scenario subsample (the full 557-configuration run is
+// cmd/expdriver's job; these tests keep the *shape* from regressing).
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/platform"
+)
+
+// headlineResults runs the naive comparison on a fixed subsample.
+func headlineResults(t *testing.T, cl *platform.Cluster, stride int) [][]float64 {
+	t.Helper()
+	r := NewRunner()
+	scens := Subsample(Scenarios(), stride)
+	results, err := r.Run(scens, cl, NaiveAlgos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Makespans(results)
+}
+
+// TestReproductionDeltaBeatsHCPAOnGrillon pins Figure 2's headline for the
+// delta strategy: shorter schedules than HCPA in a clear majority of
+// scenarios and a mean ratio below 1 (the paper reports 9% shorter in 72%
+// of scenarios; sub-sampling shifts the numbers but not the direction).
+func TestReproductionDeltaBeatsHCPAOnGrillon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	ms := headlineResults(t, platform.Grillon(), 16)
+	s := metrics.Summarize(metrics.Relative(ms[1], ms[0]))
+	if s.Mean >= 1.0 {
+		t.Errorf("delta mean ratio %.3f, want < 1 (paper: 0.91)", s.Mean)
+	}
+	if s.ShorterPercent() < 55 {
+		t.Errorf("delta shorter in %.0f%%, want a clear majority (paper: 72%%)", s.ShorterPercent())
+	}
+}
+
+// TestReproductionTimeCostMajorityWins pins the time-cost strategy's
+// majority-win property on grillon.
+func TestReproductionTimeCostMajorityWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	ms := headlineResults(t, platform.Grillon(), 16)
+	s := metrics.Summarize(metrics.Relative(ms[2], ms[0]))
+	if s.ShorterPercent() < 50 {
+		t.Errorf("time-cost shorter in %.0f%%, want a majority (paper: 80%%)", s.ShorterPercent())
+	}
+}
+
+// TestReproductionTimeCostImprovesWithClusterSize pins the paper's §IV-D
+// observation: the time-cost strategy gets relatively better as the
+// cluster grows (its estimates ignore contention, and contention matters
+// less on big clusters). Compare mean relative makespan on chti (20
+// procs) vs grelon (120 procs).
+func TestReproductionTimeCostImprovesWithClusterSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	small := headlineResults(t, platform.Chti(), 16)
+	large := headlineResults(t, platform.Grelon(), 16)
+	rSmall := metrics.Summarize(metrics.Relative(small[2], small[0])).Mean
+	rLarge := metrics.Summarize(metrics.Relative(large[2], large[0])).Mean
+	if rLarge >= rSmall {
+		t.Errorf("time-cost mean ratio should improve with cluster size: chti %.3f vs grelon %.3f",
+			rSmall, rLarge)
+	}
+}
+
+// TestReproductionPackingHelps pins Figure 5's packing observation:
+// enabling packing in the time-cost strategy does not hurt the average
+// relative makespan (the paper reports it always produces shorter
+// schedules).
+func TestReproductionPackingHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	r := NewRunner()
+	scens := Subsample(ScenariosOf(Scenarios(), Irregular), 24)
+	res, err := RunRhoSweep(r, scens, platform.Grillon(), Irregular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onBetter := 0
+	for i := range res.MinRhos {
+		if res.PackingOn[i] <= res.PackingOff[i]+1e-9 {
+			onBetter++
+		}
+	}
+	if onBetter*2 < len(res.MinRhos) {
+		t.Errorf("packing helped at only %d/%d rho values; paper: always", onBetter, len(res.MinRhos))
+	}
+}
+
+// TestReproductionHCPAWorstInDegradation pins Table VI's ordering: HCPA's
+// average degradation from best is the largest of the three algorithms.
+func TestReproductionHCPAWorstInDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	ms := headlineResults(t, platform.Grelon(), 16)
+	deg := metrics.DegradationFromBest(ms)
+	if deg[0].AvgOverAll < deg[1].AvgOverAll || deg[0].AvgOverAll < deg[2].AvgOverAll {
+		t.Errorf("HCPA degradation %.2f%% should exceed delta %.2f%% and time-cost %.2f%%",
+			deg[0].AvgOverAll, deg[1].AvgOverAll, deg[2].AvgOverAll)
+	}
+}

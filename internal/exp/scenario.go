@@ -1,0 +1,169 @@
+// Package exp is the evaluation harness: it enumerates the paper's 557
+// application configurations (Table III), runs the two-step scheduling
+// pipeline (HCPA allocation → {HCPA, RATS-delta, RATS-time-cost} mapping →
+// contended replay) over the three Grid'5000 clusters of Table II, and
+// formats every figure and table of §IV.
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/gen"
+	"repro/internal/xrand"
+)
+
+// AppKind is one of the four application classes of §IV-A.
+type AppKind int
+
+const (
+	Layered AppKind = iota
+	Irregular
+	FFT
+	Strassen
+)
+
+// String implements fmt.Stringer.
+func (k AppKind) String() string {
+	switch k {
+	case Layered:
+		return "layered"
+	case Irregular:
+		return "irregular"
+	case FFT:
+		return "fft"
+	case Strassen:
+		return "strassen"
+	}
+	return "unknown"
+}
+
+// AppKinds lists the four classes in the paper's column order (Table IV).
+func AppKinds() []AppKind { return []AppKind{FFT, Strassen, Layered, Irregular} }
+
+// Scenario identifies one application configuration. Graph construction is
+// deterministic: the seed is derived from the scenario name.
+type Scenario struct {
+	ID     int
+	Kind   AppKind
+	Params gen.RandomParams // random kinds only
+	K      int              // FFT data points
+	Sample int
+}
+
+// Name returns the stable scenario identifier.
+func (s Scenario) Name() string {
+	switch s.Kind {
+	case FFT:
+		return fmt.Sprintf("fft/k=%d/sample=%d", s.K, s.Sample)
+	case Strassen:
+		return fmt.Sprintf("strassen/sample=%d", s.Sample)
+	default:
+		return fmt.Sprintf("%s/n=%d/w=%.1f/r=%.1f/d=%.1f/j=%d/sample=%d",
+			s.Kind, s.Params.N, s.Params.Width, s.Params.Regularity,
+			s.Params.Density, s.Params.Jump, s.Sample)
+	}
+}
+
+// Graph builds the scenario's task graph (normalized and validated).
+func (s Scenario) Graph() *dag.Graph {
+	seed := xrand.SeedFromString(s.Name())
+	switch s.Kind {
+	case FFT:
+		return gen.FFT(s.K, seed)
+	case Strassen:
+		return gen.Strassen(seed)
+	default:
+		p := s.Params
+		p.Seed = seed
+		return gen.Random(p)
+	}
+}
+
+// Table III parameter values.
+var (
+	taskCounts   = []int{25, 50, 100}
+	widths       = []float64{0.2, 0.5, 0.8}
+	densities    = []float64{0.2, 0.8}
+	regularities = []float64{0.2, 0.8}
+	jumps        = []int{1, 2, 4}
+	fftPoints    = []int{2, 4, 8, 16}
+)
+
+const (
+	randomSamples = 3  // per random parameter combination
+	fftSamples    = 25 // per k
+	strassenCount = 25
+)
+
+// Scenarios enumerates all 557 application configurations of Table III:
+// 108 layered + 324 irregular + 100 FFT + 25 Strassen.
+func Scenarios() []Scenario {
+	var out []Scenario
+	add := func(s Scenario) {
+		s.ID = len(out)
+		out = append(out, s)
+	}
+	for _, n := range taskCounts {
+		for _, w := range widths {
+			for _, d := range densities {
+				for _, r := range regularities {
+					for smp := 0; smp < randomSamples; smp++ {
+						add(Scenario{Kind: Layered, Sample: smp, Params: gen.RandomParams{
+							N: n, Width: w, Density: d, Regularity: r, Jump: 1, Layered: true,
+						}})
+					}
+				}
+			}
+		}
+	}
+	for _, n := range taskCounts {
+		for _, w := range widths {
+			for _, d := range densities {
+				for _, r := range regularities {
+					for _, j := range jumps {
+						for smp := 0; smp < randomSamples; smp++ {
+							add(Scenario{Kind: Irregular, Sample: smp, Params: gen.RandomParams{
+								N: n, Width: w, Density: d, Regularity: r, Jump: j,
+							}})
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, k := range fftPoints {
+		for smp := 0; smp < fftSamples; smp++ {
+			add(Scenario{Kind: FFT, K: k, Sample: smp})
+		}
+	}
+	for smp := 0; smp < strassenCount; smp++ {
+		add(Scenario{Kind: Strassen, Sample: smp})
+	}
+	return out
+}
+
+// ScenariosOf filters scenarios by application kind.
+func ScenariosOf(all []Scenario, kind AppKind) []Scenario {
+	var out []Scenario
+	for _, s := range all {
+		if s.Kind == kind {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Subsample keeps every stride-th scenario (minimum one), preserving order.
+// The quick evaluation modes use it to bound test/bench runtimes while
+// covering all application classes.
+func Subsample(all []Scenario, stride int) []Scenario {
+	if stride <= 1 {
+		return all
+	}
+	var out []Scenario
+	for i := 0; i < len(all); i += stride {
+		out = append(out, all[i])
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package exp
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/platform"
+)
+
+// Tuned holds the tuned (mindelta, maxdelta, minrho) triple of one
+// application-type × cluster pair (Table IV). Packing is always enabled
+// for the tuned time-cost strategy — §IV-C reports it always helps.
+type Tuned struct {
+	MinDelta, MaxDelta, MinRho float64
+}
+
+// TableIVResult maps cluster name → application kind → tuned parameters.
+// The full sweep surfaces behind each cell are retained so drivers can
+// write the complete Figure-4/5-style record for every pair.
+type TableIVResult struct {
+	Clusters []string
+	Kinds    []AppKind
+	Values   map[string]map[AppKind]Tuned
+
+	DeltaSweeps map[string]map[AppKind]*DeltaSweepResult
+	RhoSweeps   map[string]map[AppKind]*RhoSweepResult
+}
+
+// RunTuningSweep evaluates the full parameter grid of §IV-C for one
+// scenario set on one cluster in a single batched run (so the baseline is
+// simulated once and identical schedules across sweep points are
+// deduplicated): every (mindelta, maxdelta) pair for the delta strategy
+// and every minrho (with and without packing) for the time-cost strategy.
+func RunTuningSweep(r *Runner, scens []Scenario, cl *platform.Cluster, kind AppKind) (*DeltaSweepResult, *RhoSweepResult, error) {
+	algos := []AlgoSpec{Baseline()}
+	for _, md := range MinDeltaGrid {
+		for _, xd := range MaxDeltaGrid {
+			algos = append(algos, Delta(md, xd))
+		}
+	}
+	for _, rho := range MinRhoGrid {
+		algos = append(algos, TimeCost(rho, true))
+	}
+	for _, rho := range MinRhoGrid {
+		algos = append(algos, TimeCost(rho, false))
+	}
+	results, err := r.Run(scens, cl, algos)
+	if err != nil {
+		return nil, nil, err
+	}
+	ms := Makespans(results)
+	avg := func(a int) float64 {
+		return metrics.Summarize(metrics.Relative(ms[a], ms[0])).Mean
+	}
+	ds := &DeltaSweepResult{
+		Cluster:   cl.Name,
+		Kind:      kind,
+		MinDeltas: MinDeltaGrid,
+		MaxDeltas: MaxDeltaGrid,
+		AvgRel:    make([][]float64, len(MinDeltaGrid)),
+	}
+	idx := 1
+	for i := range MinDeltaGrid {
+		ds.AvgRel[i] = make([]float64, len(MaxDeltaGrid))
+		for j := range MaxDeltaGrid {
+			ds.AvgRel[i][j] = avg(idx)
+			idx++
+		}
+	}
+	rs := &RhoSweepResult{Cluster: cl.Name, Kind: kind, MinRhos: MinRhoGrid}
+	for i := range MinRhoGrid {
+		rs.PackingOn = append(rs.PackingOn, avg(idx+i))
+		rs.PackingOff = append(rs.PackingOff, avg(idx+len(MinRhoGrid)+i))
+	}
+	return ds, rs, nil
+}
+
+// RunTableIV reproduces the paper's tuning methodology (§IV-C): for every
+// cluster and application type, sweep the delta grid and the rho grid and
+// keep the parameter values achieving the smallest average makespan
+// relative to HCPA.
+func RunTableIV(r *Runner, scens []Scenario, clusters []*platform.Cluster) (*TableIVResult, error) {
+	out := &TableIVResult{
+		Kinds:       AppKinds(),
+		Values:      map[string]map[AppKind]Tuned{},
+		DeltaSweeps: map[string]map[AppKind]*DeltaSweepResult{},
+		RhoSweeps:   map[string]map[AppKind]*RhoSweepResult{},
+	}
+	for _, cl := range clusters {
+		out.Clusters = append(out.Clusters, cl.Name)
+		perKind := map[AppKind]Tuned{}
+		out.DeltaSweeps[cl.Name] = map[AppKind]*DeltaSweepResult{}
+		out.RhoSweeps[cl.Name] = map[AppKind]*RhoSweepResult{}
+		for _, kind := range out.Kinds {
+			ks := ScenariosOf(scens, kind)
+			ds, rs, err := RunTuningSweep(r, ks, cl, kind)
+			if err != nil {
+				return nil, err
+			}
+			minD, maxD, _ := ds.Best()
+			rho, _ := rs.Best()
+			perKind[kind] = Tuned{MinDelta: minD, MaxDelta: maxD, MinRho: rho}
+			out.DeltaSweeps[cl.Name][kind] = ds
+			out.RhoSweeps[cl.Name][kind] = rs
+		}
+		out.Values[cl.Name] = perKind
+	}
+	return out, nil
+}
+
+// runTunedMatrix evaluates HCPA, tuned delta and tuned time-cost on every
+// scenario of one cluster, applying per-application-type parameters. The
+// result is indexed [algo][scenario] with algo 0 = HCPA.
+func runTunedMatrix(r *Runner, scens []Scenario, cl *platform.Cluster, tuned map[AppKind]Tuned) ([][]RunResult, error) {
+	out := make([][]RunResult, 3)
+	for a := range out {
+		out[a] = make([]RunResult, len(scens))
+	}
+	for _, kind := range AppKinds() {
+		// Indices of this kind within scens.
+		var idx []int
+		var ks []Scenario
+		for i, s := range scens {
+			if s.Kind == kind {
+				idx = append(idx, i)
+				ks = append(ks, s)
+			}
+		}
+		if len(ks) == 0 {
+			continue
+		}
+		tp := tuned[kind]
+		algos := []AlgoSpec{
+			Baseline(),
+			Delta(tp.MinDelta, tp.MaxDelta),
+			TimeCost(tp.MinRho, true),
+		}
+		res, err := r.Run(ks, cl, algos)
+		if err != nil {
+			return nil, err
+		}
+		for a := 0; a < 3; a++ {
+			for k, i := range idx {
+				out[a][i] = res[a][k]
+			}
+		}
+	}
+	return out, nil
+}
+
+// RunFig6And7 reproduces Figures 6 and 7: the tuned-parameter comparison
+// on one cluster, using the per-application-type values of Table IV.
+func RunFig6And7(r *Runner, scens []Scenario, cl *platform.Cluster, tuned map[AppKind]Tuned) (*Fig23Result, error) {
+	results, err := runTunedMatrix(r, scens, cl, tuned)
+	if err != nil {
+		return nil, err
+	}
+	algos := []AlgoSpec{Baseline(), {Name: "delta(tuned)"}, {Name: "time-cost(tuned)"}}
+	return relativeFig(cl, algos, results), nil
+}
+
+// TableVResult is the pairwise comparison of Table V for every cluster.
+type TableVResult struct {
+	AlgoNames []string // HCPA, delta, time-cost
+	Clusters  []string
+	// Pairwise[cluster][i][j] compares algorithm i against j.
+	Pairwise map[string][][]metrics.PairwiseCell
+	// Combined[cluster][i] is the percentage column.
+	Combined map[string][]metrics.CombinedPercent
+}
+
+// TableVIResult is the degradation-from-best table for every cluster.
+type TableVIResult struct {
+	AlgoNames   []string
+	Clusters    []string
+	Degradation map[string][]metrics.Degradation
+}
+
+// RunTableVAndVI reproduces Tables V and VI: tuned RATS variants against
+// HCPA on all clusters, counting pairwise wins and measuring degradation
+// from the per-scenario best.
+func RunTableVAndVI(r *Runner, scens []Scenario, clusters []*platform.Cluster, tuned *TableIVResult) (*TableVResult, *TableVIResult, error) {
+	names := []string{"HCPA", "delta", "time-cost"}
+	tv := &TableVResult{
+		AlgoNames: names,
+		Pairwise:  map[string][][]metrics.PairwiseCell{},
+		Combined:  map[string][]metrics.CombinedPercent{},
+	}
+	tvi := &TableVIResult{AlgoNames: names, Degradation: map[string][]metrics.Degradation{}}
+	for _, cl := range clusters {
+		results, err := runTunedMatrix(r, scens, cl, tuned.Values[cl.Name])
+		if err != nil {
+			return nil, nil, err
+		}
+		ms := Makespans(results)
+		pw := metrics.Pairwise(ms)
+		tv.Clusters = append(tv.Clusters, cl.Name)
+		tv.Pairwise[cl.Name] = pw
+		var comb []metrics.CombinedPercent
+		for i := range names {
+			comb = append(comb, metrics.Combined(pw, i))
+		}
+		tv.Combined[cl.Name] = comb
+		tvi.Clusters = append(tvi.Clusters, cl.Name)
+		tvi.Degradation[cl.Name] = metrics.DegradationFromBest(ms)
+	}
+	return tv, tvi, nil
+}

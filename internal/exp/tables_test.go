@@ -1,0 +1,139 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// microScens returns two scenarios of every application kind, enough to
+// exercise the tuned pipelines end to end while staying fast.
+func microScens() []Scenario {
+	all := Scenarios()
+	var out []Scenario
+	for _, kind := range AppKinds() {
+		ks := ScenariosOf(all, kind)
+		out = append(out, ks[0], ks[len(ks)/2])
+	}
+	return out
+}
+
+func TestTableIVAndDownstreamPipelines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning pipeline integration test")
+	}
+	r := NewRunner()
+	clusters := []*platform.Cluster{platform.Chti()}
+	scens := microScens()
+
+	tuned, err := RunTableIV(r, scens, clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuned.Clusters) != 1 || len(tuned.Values["chti"]) != 4 {
+		t.Fatalf("tuned result incomplete: %+v", tuned)
+	}
+	for kind, v := range tuned.Values["chti"] {
+		if v.MaxDelta < 0 || v.MaxDelta > 1 || v.MinDelta > 0 || v.MinDelta < -0.75 {
+			t.Errorf("%v: tuned delta pair (%g,%g) outside the sweep grid", kind, v.MinDelta, v.MaxDelta)
+		}
+		if v.MinRho < 0.2 || v.MinRho > 1 {
+			t.Errorf("%v: tuned minrho %g outside the sweep grid", kind, v.MinRho)
+		}
+	}
+	var buf bytes.Buffer
+	WriteTableIV(&buf, tuned)
+	if !strings.Contains(buf.String(), "chti") {
+		t.Error("Table IV formatter missing cluster row")
+	}
+
+	// Figures 6/7 with the tuned values.
+	fig, err := RunFig6And7(r, scens, clusters[0], tuned.Values["chti"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.MakespanRatios) != 2 || len(fig.MakespanRatios[0]) != len(scens) {
+		t.Fatalf("fig6/7 series malformed")
+	}
+
+	// Tables V and VI.
+	tv, tvi, err := RunTableVAndVI(r, scens, clusters, tuned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := tv.Pairwise["chti"]
+	for i := range pw {
+		for j := range pw[i] {
+			if i == j {
+				continue
+			}
+			c := pw[i][j]
+			if c.Better+c.Equal+c.Worse != len(scens) {
+				t.Fatalf("pairwise cell [%d][%d] counts %d scenarios, want %d",
+					i, j, c.Better+c.Equal+c.Worse, len(scens))
+			}
+		}
+	}
+	deg := tvi.Degradation["chti"]
+	if len(deg) != 3 {
+		t.Fatalf("want 3 degradation rows, got %d", len(deg))
+	}
+	buf.Reset()
+	WriteTableV(&buf, tv)
+	WriteTableVI(&buf, tvi)
+	out := buf.String()
+	for _, want := range []string{"Table V", "Table VI", "combined", "not best"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table formatters missing %q", want)
+		}
+	}
+}
+
+func TestExtendedAlgosSwapAllocation(t *testing.T) {
+	algos := ExtendedAlgos()
+	if len(algos) != 5 {
+		t.Fatalf("want 5 algorithms, got %d", len(algos))
+	}
+	if algos[0].Alloc == nil || algos[1].Alloc == nil {
+		t.Error("CPA/MCPA specs must override the allocation step")
+	}
+	if algos[2].Alloc != nil {
+		t.Error("HCPA spec must use the runner's shared allocation")
+	}
+	r := NewRunner()
+	scens := []Scenario{Scenarios()[532]} // one Strassen
+	results, err := r.Run(scens, platform.Chti(), algos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if results[i][0].Makespan <= 0 {
+			t.Errorf("algo %s produced non-positive makespan", algos[i].Name)
+		}
+	}
+}
+
+func TestDeltaSweepBestPicksGridMinimum(t *testing.T) {
+	d := &DeltaSweepResult{
+		MinDeltas: []float64{0, -0.5},
+		MaxDeltas: []float64{0, 1},
+		AvgRel:    [][]float64{{1.0, 0.9}, {0.95, 0.85}},
+	}
+	minD, maxD, avg := d.Best()
+	if minD != -0.5 || maxD != 1 || avg != 0.85 {
+		t.Errorf("Best = (%g,%g,%g), want (-0.5,1,0.85)", minD, maxD, avg)
+	}
+}
+
+func TestRhoSweepBestPicksMinimum(t *testing.T) {
+	r := &RhoSweepResult{
+		MinRhos:   []float64{0.2, 0.5, 1.0},
+		PackingOn: []float64{0.99, 0.91, 0.97},
+	}
+	rho, avg := r.Best()
+	if rho != 0.5 || avg != 0.91 {
+		t.Errorf("Best = (%g,%g), want (0.5,0.91)", rho, avg)
+	}
+}

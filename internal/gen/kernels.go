@@ -1,0 +1,150 @@
+package gen
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/dag"
+	"repro/internal/xrand"
+)
+
+// FFTTaskCount returns the number of computation tasks of an FFT task
+// graph over k data points: 2k−1 recursive-call tasks plus k·log2(k)
+// butterfly tasks (§IV-A). For the paper's k ∈ {2, 4, 8, 16} this yields
+// 5, 15, 39 and 95 tasks.
+func FFTTaskCount(k int) int {
+	lg := bits.Len(uint(k)) - 1
+	return 2*k - 1 + k*lg
+}
+
+// FFT generates the Fast Fourier Transform task graph over k data points
+// (k must be a power of two ≥ 2). The graph has two parts: a binary tree
+// of recursive-call tasks (root = entry) whose k leaves feed log2(k)
+// butterfly levels of k tasks each. Tasks of a given level share one cost
+// draw, so — as the paper notes — every root-to-exit path is critical.
+func FFT(k int, seed int64) *dag.Graph {
+	if k < 2 || k&(k-1) != 0 {
+		panic(fmt.Sprintf("gen: FFT requires a power-of-two k ≥ 2, got %d", k))
+	}
+	lg := bits.Len(uint(k)) - 1
+	rng := xrand.New(seed)
+	g := dag.NewGraph(FFTTaskCount(k)+1, 3*k*lg)
+
+	// Recursive-call tree: level d has 2^d tasks, d = 0..lg.
+	tree := make([][]int, lg+1)
+	for d := 0; d <= lg; d++ {
+		c := drawCost(rng)
+		tree[d] = make([]int, 1<<d)
+		for i := range tree[d] {
+			tree[d][i] = g.AddTask(dag.Task{
+				Name: fmt.Sprintf("fft/rec%d_%d", d, i),
+				M:    c.m, A: c.a, Alpha: c.alpha,
+			})
+		}
+		if d > 0 {
+			for i, id := range tree[d] {
+				parent := tree[d-1][i/2]
+				g.AddEdge(parent, id, g.Tasks[parent].Bytes())
+			}
+		}
+	}
+
+	// Butterfly stages: lg levels of k tasks. Stage 1 reads the tree
+	// leaves; stage s task i reads stage s−1 tasks i and i XOR 2^(s−1).
+	prev := tree[lg]
+	for s := 1; s <= lg; s++ {
+		c := drawCost(rng)
+		cur := make([]int, k)
+		for i := 0; i < k; i++ {
+			cur[i] = g.AddTask(dag.Task{
+				Name: fmt.Sprintf("fft/bfly%d_%d", s, i),
+				M:    c.m, A: c.a, Alpha: c.alpha,
+			})
+		}
+		for i := 0; i < k; i++ {
+			a, b := prev[i], prev[i^(1<<(s-1))]
+			g.AddEdge(a, cur[i], g.Tasks[a].Bytes())
+			if b != a {
+				g.AddEdge(b, cur[i], g.Tasks[b].Bytes())
+			}
+		}
+		prev = cur
+	}
+
+	g.Normalize() // k butterfly exits → virtual exit
+	return g
+}
+
+// StrassenTaskCount is the number of computation tasks of the Strassen
+// graph: 10 pre-additions, 7 sub-multiplications and 8 post-additions
+// (§IV-A reports 25 tasks).
+const StrassenTaskCount = 25
+
+// Strassen generates the task graph of one level of Strassen's matrix
+// multiplication C = A·B:
+//
+//	S1..S10 : quadrant additions/subtractions  (level 1, entries)
+//	P1..P7  : the seven recursive products     (level 2)
+//	C12, C21, and partial sums A1..A4          (level 3)
+//	C11, C22                                   (level 4, exits)
+//
+// All entry tasks lie on a critical path and tasks of a level share one
+// cost draw, as the paper requires. The quadrant dataset size m is common
+// to the whole graph (every task manipulates n/2 × n/2 blocks); a and α
+// are drawn per level.
+func Strassen(seed int64) *dag.Graph {
+	rng := xrand.New(seed)
+	g := dag.NewGraph(StrassenTaskCount+2, 40)
+
+	base := drawCost(rng)
+	level := func() taskCost {
+		c := drawCost(rng)
+		c.m = base.m // same quadrant size everywhere
+		return c
+	}
+
+	add := func(name string, c taskCost) int {
+		return g.AddTask(dag.Task{Name: "strassen/" + name, M: c.m, A: c.a, Alpha: c.alpha})
+	}
+
+	cS := level()
+	S := make([]int, 11) // 1-indexed
+	for i := 1; i <= 10; i++ {
+		S[i] = add(fmt.Sprintf("S%d", i), cS)
+	}
+	cP := level()
+	P := make([]int, 8)
+	for i := 1; i <= 7; i++ {
+		P[i] = add(fmt.Sprintf("P%d", i), cP)
+	}
+	// Operand wiring (classic Strassen formulation):
+	// P1 = S1·S2, P2 = S3·B11, P3 = A11·S4, P4 = A22·S5,
+	// P5 = S6·B22, P6 = S7·S8, P7 = S9·S10.
+	wire := [][2]int{1: {1, 2}, 2: {3, 0}, 3: {4, 0}, 4: {5, 0}, 5: {6, 0}, 6: {7, 8}, 7: {9, 10}}
+	for i := 1; i <= 7; i++ {
+		for _, s := range wire[i] {
+			if s != 0 {
+				g.AddEdge(S[s], P[i], g.Tasks[S[s]].Bytes())
+			}
+		}
+	}
+	c3 := level()
+	edge2 := func(name string, a, b int, c taskCost) int {
+		id := add(name, c)
+		g.AddEdge(a, id, g.Tasks[a].Bytes())
+		g.AddEdge(b, id, g.Tasks[b].Bytes())
+		return id
+	}
+	edge2("C12", P[3], P[5], c3)      // C12 = P3 + P5 (exit)
+	edge2("C21", P[2], P[4], c3)      // C21 = P2 + P4 (exit)
+	a1 := edge2("A1", P[1], P[4], c3) // A1 = P1 + P4
+	a2 := edge2("A2", P[7], P[5], c3) // A2 = P7 − P5
+	a3 := edge2("A3", P[1], P[2], c3) // A3 = P1 − P2
+	a4 := edge2("A4", P[3], P[6], c3) // A4 = P3 + P6
+	c4 := level()
+	edge2("C11", a1, a2, c4) // C11 = A1 + A2 (exit)
+	edge2("C22", a3, a4, c4) // C22 = A3 + A4 (exit)
+
+	g.Normalize() // 10 entries → virtual entry; C11/C12/C21/C22 → virtual exit
+	return g
+}

@@ -1,0 +1,150 @@
+// Package gen generates the four application classes of the paper's
+// evaluation (§IV-A, Table III): layered random DAGs, irregular random
+// DAGs with jump edges, FFT task graphs and Strassen matrix-multiplication
+// task graphs.
+//
+// The random generator follows the structure of the authors' daggen tool
+// (reference [12]): three shape parameters in [0, 1] — width (maximum
+// parallelism), regularity (uniformity of level sizes) and density (edge
+// probability between consecutive levels) — plus, for irregular graphs, a
+// jump length making edges skip levels. Layered graphs give every task of
+// a level identical costs; irregular graphs draw costs per task.
+//
+// All sampling is driven by a deterministic seed, so the 557-configuration
+// evaluation is exactly reproducible.
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dag"
+	"repro/internal/moldable"
+	"repro/internal/xrand"
+)
+
+// RandomParams describes one random DAG configuration (Table III).
+type RandomParams struct {
+	N          int     // number of computation tasks: 25, 50 or 100
+	Width      float64 // 0.2, 0.5 or 0.8
+	Regularity float64 // 0.2 or 0.8
+	Density    float64 // 0.2 or 0.8
+	Jump       int     // 1 (= no jumping), 2 or 4; irregular DAGs only
+	Layered    bool    // layered: uniform costs within each level
+	Seed       int64
+}
+
+// Name returns a stable human-readable identifier, also used to derive
+// per-configuration seeds in the experiment harness.
+func (p RandomParams) Name() string {
+	kind := "irregular"
+	if p.Layered {
+		kind = "layered"
+	}
+	return fmt.Sprintf("%s/n=%d/w=%.1f/r=%.1f/d=%.1f/j=%d/seed=%d",
+		kind, p.N, p.Width, p.Regularity, p.Density, p.Jump, p.Seed)
+}
+
+// taskCost is one draw of the §II-A cost model.
+type taskCost struct {
+	m, a, alpha float64
+}
+
+func drawCost(rng *xrand.Source) taskCost {
+	return taskCost{
+		m:     rng.Uniform(moldable.MinElements, moldable.MaxElements),
+		a:     rng.Uniform(moldable.MinOpsFactor, moldable.MaxOpsFactor),
+		alpha: rng.Uniform(0, moldable.MaxAlpha),
+	}
+}
+
+// Random generates a random mixed-parallel application DAG. The returned
+// graph is normalized (single entry/exit via virtual connectors when
+// needed) and validated by construction.
+func Random(p RandomParams) *dag.Graph {
+	if p.N < 1 {
+		panic("gen: RandomParams.N must be ≥ 1")
+	}
+	if p.Jump < 1 {
+		p.Jump = 1
+	}
+	rng := xrand.New(p.Seed)
+	g := dag.NewGraph(p.N+2, p.N*3)
+
+	// --- Level structure -------------------------------------------------
+	// Mean tasks per level grows with width: a chain for width→0, a
+	// fork-join for width→1. daggen-style: mean = width · 2√N, perturbed
+	// by ±(1 − regularity).
+	mean := p.Width * 2 * math.Sqrt(float64(p.N))
+	if mean < 1 {
+		mean = 1
+	}
+	var levels [][]int
+	placed := 0
+	for placed < p.N {
+		spread := (1 - p.Regularity) * mean
+		sz := int(math.Round(rng.Uniform(mean-spread, mean+spread)))
+		if sz < 1 {
+			sz = 1
+		}
+		if placed+sz > p.N {
+			sz = p.N - placed
+		}
+		lvl := make([]int, 0, sz)
+		var shared taskCost
+		if p.Layered {
+			shared = drawCost(rng)
+		}
+		for i := 0; i < sz; i++ {
+			c := shared
+			if !p.Layered {
+				c = drawCost(rng)
+			}
+			id := g.AddTask(dag.Task{
+				Name:  fmt.Sprintf("t%d_%d", len(levels), i),
+				M:     c.m,
+				A:     c.a,
+				Alpha: c.alpha,
+			})
+			lvl = append(lvl, id)
+		}
+		levels = append(levels, lvl)
+		placed += sz
+	}
+
+	// --- Edges ------------------------------------------------------------
+	// Consecutive levels: each (u, v) pair linked with probability density;
+	// every non-entry task gets at least one parent in the previous level.
+	for l := 1; l < len(levels); l++ {
+		prev := levels[l-1]
+		for _, v := range levels[l] {
+			parents := 0
+			for _, u := range prev {
+				if rng.Bool(p.Density) {
+					g.AddEdge(u, v, g.Tasks[u].Bytes())
+					parents++
+				}
+			}
+			if parents == 0 {
+				u := prev[rng.Intn(len(prev))]
+				g.AddEdge(u, v, g.Tasks[u].Bytes())
+			}
+		}
+	}
+	// Jump edges (irregular graphs, jump > 1): edges from level l to level
+	// l+jump, drawn with the same density per destination task.
+	if p.Jump > 1 {
+		for l := 0; l+p.Jump < len(levels); l++ {
+			src := levels[l]
+			for _, v := range levels[l+p.Jump] {
+				if rng.Bool(p.Density) {
+					u := src[rng.Intn(len(src))]
+					g.AddEdge(u, v, g.Tasks[u].Bytes())
+				}
+			}
+		}
+	}
+
+	g.Normalize()
+	return g
+}

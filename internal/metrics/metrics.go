@@ -1,0 +1,221 @@
+// Package metrics implements the evaluation metrics of §IV of the paper:
+// relative makespan/work series (Figures 2, 3, 6, 7), pairwise
+// better/equal/worse counts (Table V) and degradation from best
+// (Table VI).
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// RelEpsilon is the relative tolerance under which two makespans are
+// considered equal — schedule lengths are simulated floating-point values,
+// and "equal" in Table V means "the algorithms produced the same
+// schedule", which survives tiny numerical noise.
+const RelEpsilon = 1e-6
+
+// Compare returns −1 if a < b, +1 if a > b and 0 if they are equal within
+// RelEpsilon (relative to their magnitude).
+func Compare(a, b float64) int {
+	tol := RelEpsilon * math.Max(math.Abs(a), math.Abs(b))
+	switch {
+	case a < b-tol:
+		return -1
+	case a > b+tol:
+		return +1
+	}
+	return 0
+}
+
+// Relative returns target[i]/baseline[i] for every scenario — the "makespan
+// relative to HCPA" series of Figures 2/3/6/7 (values < 1 mean the target
+// algorithm is better).
+func Relative(target, baseline []float64) []float64 {
+	if len(target) != len(baseline) {
+		panic("metrics: Relative requires equal-length series")
+	}
+	out := make([]float64, len(target))
+	for i := range target {
+		if baseline[i] == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = target[i] / baseline[i]
+	}
+	return out
+}
+
+// Sorted returns an independently sorted copy of a series, matching the
+// paper's presentation ("data points are sorted by increasing value of this
+// relative makespan. Note that the data sets are sorted independently").
+func Sorted(series []float64) []float64 {
+	c := append([]float64(nil), series...)
+	sort.Float64s(c)
+	return c
+}
+
+// Summary condenses a relative series the way the paper quotes it
+// ("on average 9% shorter", "shorter schedules in 72% of the scenarios").
+type Summary struct {
+	N            int
+	Mean         float64 // mean ratio; 0.91 ⇒ 9% shorter on average
+	Median       float64
+	P10, P90     float64
+	ShorterCount int // ratios < 1 − RelEpsilon
+	EqualCount   int
+	LongerCount  int
+}
+
+// ShorterPercent is the share of scenarios with a strictly shorter result.
+func (s Summary) ShorterPercent() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return 100 * float64(s.ShorterCount) / float64(s.N)
+}
+
+// MeanImprovementPercent is (1 − mean ratio)·100: positive means shorter
+// schedules than the baseline on average.
+func (s Summary) MeanImprovementPercent() float64 { return 100 * (1 - s.Mean) }
+
+// Summarize computes a Summary of a relative series.
+func Summarize(ratios []float64) Summary {
+	s := Summary{N: len(ratios)}
+	if s.N == 0 {
+		return s
+	}
+	sorted := Sorted(ratios)
+	sum := 0.0
+	for _, r := range sorted {
+		sum += r
+		switch Compare(r, 1) {
+		case -1:
+			s.ShorterCount++
+		case 0:
+			s.EqualCount++
+		default:
+			s.LongerCount++
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	q := func(p float64) float64 {
+		idx := p * float64(s.N-1)
+		lo := int(math.Floor(idx))
+		hi := int(math.Ceil(idx))
+		frac := idx - float64(lo)
+		return sorted[lo]*(1-frac) + sorted[hi]*frac
+	}
+	s.Median, s.P10, s.P90 = q(0.5), q(0.1), q(0.9)
+	return s
+}
+
+// PairwiseCell counts scenarios where the row algorithm was better, equal
+// or worse than the column algorithm (one cell of Table V).
+type PairwiseCell struct {
+	Better, Equal, Worse int
+}
+
+// Pairwise computes the full pairwise comparison matrix from per-algorithm
+// makespan vectors: makespans[a][s] is algorithm a's makespan on scenario
+// s. Entry [i][j] compares algorithm i (row) against j (column).
+func Pairwise(makespans [][]float64) [][]PairwiseCell {
+	n := len(makespans)
+	out := make([][]PairwiseCell, n)
+	for i := range out {
+		out[i] = make([]PairwiseCell, n)
+		for j := range out[i] {
+			if i == j {
+				continue
+			}
+			for s := range makespans[i] {
+				switch Compare(makespans[i][s], makespans[j][s]) {
+				case -1:
+					out[i][j].Better++ // lower makespan = better
+				case 0:
+					out[i][j].Equal++
+				default:
+					out[i][j].Worse++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CombinedPercent is the "combined" column of Table V: the percentage of
+// (scenario, opponent) pairs in which an algorithm is better, equal or
+// worse than all other algorithms combined.
+type CombinedPercent struct {
+	Better, Equal, Worse float64
+}
+
+// Combined reduces a pairwise matrix row to the combined percentages.
+func Combined(pw [][]PairwiseCell, row int) CombinedPercent {
+	var b, e, w int
+	for j, cell := range pw[row] {
+		if j == row {
+			continue
+		}
+		b += cell.Better
+		e += cell.Equal
+		w += cell.Worse
+	}
+	total := b + e + w
+	if total == 0 {
+		return CombinedPercent{}
+	}
+	f := 100 / float64(total)
+	return CombinedPercent{Better: f * float64(b), Equal: f * float64(e), Worse: f * float64(w)}
+}
+
+// Degradation is one row group of Table VI for one algorithm.
+type Degradation struct {
+	// AvgOverAll is the mean percent distance to the per-scenario best,
+	// averaged over every experiment (best cases contribute 0).
+	AvgOverAll float64
+	// NotBest counts the experiments where the algorithm was not the best.
+	NotBest int
+	// AvgOverNotBest averages the percent distance over only those
+	// experiments (the paper's second method, robust to "often best"
+	// algorithms diluting the average).
+	AvgOverNotBest float64
+}
+
+// DegradationFromBest computes Table VI: for every scenario the best
+// makespan across algorithms is the reference; each algorithm's
+// degradation is (makespan − best)/best·100.
+func DegradationFromBest(makespans [][]float64) []Degradation {
+	n := len(makespans)
+	out := make([]Degradation, n)
+	if n == 0 || len(makespans[0]) == 0 {
+		return out
+	}
+	scenarios := len(makespans[0])
+	for s := 0; s < scenarios; s++ {
+		best := math.Inf(1)
+		for a := 0; a < n; a++ {
+			if makespans[a][s] < best {
+				best = makespans[a][s]
+			}
+		}
+		for a := 0; a < n; a++ {
+			deg := 0.0
+			if best > 0 {
+				deg = 100 * (makespans[a][s] - best) / best
+			}
+			out[a].AvgOverAll += deg
+			if Compare(makespans[a][s], best) > 0 {
+				out[a].NotBest++
+				out[a].AvgOverNotBest += deg
+			}
+		}
+	}
+	for a := range out {
+		out[a].AvgOverAll /= float64(scenarios)
+		if out[a].NotBest > 0 {
+			out[a].AvgOverNotBest /= float64(out[a].NotBest)
+		}
+	}
+	return out
+}

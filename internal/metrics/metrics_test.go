@@ -1,0 +1,228 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompare(t *testing.T) {
+	if Compare(1, 2) != -1 || Compare(2, 1) != 1 || Compare(5, 5) != 0 {
+		t.Fatal("basic comparisons wrong")
+	}
+	// Within relative epsilon: equal.
+	if Compare(1e6, 1e6*(1+1e-9)) != 0 {
+		t.Error("values within RelEpsilon should compare equal")
+	}
+	if Compare(1, 1+1e-3) != -1 {
+		t.Error("values beyond RelEpsilon should differ")
+	}
+}
+
+func TestRelativeAndSorted(t *testing.T) {
+	r := Relative([]float64{9, 20, 10}, []float64{10, 10, 10})
+	want := []float64{0.9, 2.0, 1.0}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("ratio[%d] = %g, want %g", i, r[i], want[i])
+		}
+	}
+	s := Sorted(r)
+	if s[0] != 0.9 || s[1] != 1.0 || s[2] != 2.0 {
+		t.Errorf("Sorted = %v", s)
+	}
+	// original untouched
+	if r[0] != 0.9 || r[1] != 2.0 {
+		t.Error("Sorted must not mutate its input")
+	}
+}
+
+func TestRelativeZeroBaseline(t *testing.T) {
+	r := Relative([]float64{1}, []float64{0})
+	if !math.IsNaN(r[0]) {
+		t.Errorf("ratio with zero baseline = %g, want NaN", r[0])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{0.8, 0.9, 1.0, 1.1})
+	if s.N != 4 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if math.Abs(s.Mean-0.95) > 1e-12 {
+		t.Errorf("Mean = %g, want 0.95", s.Mean)
+	}
+	if s.ShorterCount != 2 || s.EqualCount != 1 || s.LongerCount != 1 {
+		t.Errorf("counts = %d/%d/%d, want 2/1/1", s.ShorterCount, s.EqualCount, s.LongerCount)
+	}
+	if math.Abs(s.ShorterPercent()-50) > 1e-12 {
+		t.Errorf("ShorterPercent = %g", s.ShorterPercent())
+	}
+	if math.Abs(s.MeanImprovementPercent()-5) > 1e-9 {
+		t.Errorf("MeanImprovement = %g, want 5", s.MeanImprovementPercent())
+	}
+	if math.Abs(s.Median-0.95) > 1e-12 {
+		t.Errorf("Median = %g, want 0.95", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.ShorterPercent() != 0 {
+		t.Error("empty summary should be zero-valued")
+	}
+}
+
+func TestPairwiseTwoAlgorithms(t *testing.T) {
+	// algo0 better on scenarios 0,1; equal on 2; worse on 3.
+	ms := [][]float64{
+		{1, 2, 3, 9},
+		{2, 3, 3, 4},
+	}
+	pw := Pairwise(ms)
+	c := pw[0][1]
+	if c.Better != 2 || c.Equal != 1 || c.Worse != 1 {
+		t.Fatalf("cell = %+v", c)
+	}
+	// Antisymmetry.
+	d := pw[1][0]
+	if d.Better != c.Worse || d.Worse != c.Better || d.Equal != c.Equal {
+		t.Errorf("pairwise not antisymmetric: %+v vs %+v", c, d)
+	}
+}
+
+func TestCombinedMatchesPaperArithmetic(t *testing.T) {
+	// Reconstruct the paper's chti HCPA row: better 154 vs delta and 103
+	// vs time-cost out of 557 scenarios each ⇒ combined 23.1%.
+	// We fabricate makespans that produce exactly those counts.
+	n := 557
+	h := make([]float64, n)
+	d := make([]float64, n)
+	tc := make([]float64, n)
+	for i := 0; i < n; i++ {
+		h[i] = 100
+		switch {
+		case i < 154:
+			d[i] = 200 // delta worse
+		case i < 154+17:
+			d[i] = 100 // equal
+		default:
+			d[i] = 50 // delta better
+		}
+		switch {
+		case i < 103:
+			tc[i] = 200
+		case i < 103+21:
+			tc[i] = 100
+		default:
+			tc[i] = 50
+		}
+	}
+	pw := Pairwise([][]float64{h, d, tc})
+	if pw[0][1].Better != 154 || pw[0][1].Equal != 17 || pw[0][1].Worse != 386 {
+		t.Fatalf("HCPA vs delta = %+v", pw[0][1])
+	}
+	comb := Combined(pw, 0)
+	if math.Abs(comb.Better-23.1) > 0.05 {
+		t.Errorf("combined better = %.2f%%, want ≈23.1%%", comb.Better)
+	}
+	if math.Abs(comb.Equal-3.4) > 0.05 {
+		t.Errorf("combined equal = %.2f%%, want ≈3.4%%", comb.Equal)
+	}
+}
+
+func TestDegradationFromBest(t *testing.T) {
+	// Two algorithms, two scenarios.
+	// s0: a=100 (best), b=150 (deg 50%). s1: a=120, b=100 (a deg 20%).
+	ms := [][]float64{
+		{100, 120},
+		{150, 100},
+	}
+	d := DegradationFromBest(ms)
+	if math.Abs(d[0].AvgOverAll-10) > 1e-9 { // (0+20)/2
+		t.Errorf("a.AvgOverAll = %g, want 10", d[0].AvgOverAll)
+	}
+	if d[0].NotBest != 1 || math.Abs(d[0].AvgOverNotBest-20) > 1e-9 {
+		t.Errorf("a not-best stats = %d/%g, want 1/20", d[0].NotBest, d[0].AvgOverNotBest)
+	}
+	if math.Abs(d[1].AvgOverAll-25) > 1e-9 { // (50+0)/2
+		t.Errorf("b.AvgOverAll = %g, want 25", d[1].AvgOverAll)
+	}
+}
+
+func TestDegradationEmpty(t *testing.T) {
+	if d := DegradationFromBest(nil); len(d) != 0 {
+		t.Error("nil input should give empty output")
+	}
+	d := DegradationFromBest([][]float64{{}})
+	if len(d) != 1 || d[0].NotBest != 0 {
+		t.Error("empty scenarios should give zero degradation")
+	}
+}
+
+// Property: pairwise counts always sum to the scenario count, and the
+// matrix is antisymmetric.
+func TestPropertyPairwiseConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nAlgo := 2 + r.Intn(3)
+		nScen := 1 + r.Intn(40)
+		ms := make([][]float64, nAlgo)
+		for a := range ms {
+			ms[a] = make([]float64, nScen)
+			for s := range ms[a] {
+				ms[a][s] = float64(1 + r.Intn(5)) // ties likely
+			}
+		}
+		pw := Pairwise(ms)
+		for i := 0; i < nAlgo; i++ {
+			for j := 0; j < nAlgo; j++ {
+				if i == j {
+					continue
+				}
+				c, d := pw[i][j], pw[j][i]
+				if c.Better+c.Equal+c.Worse != nScen {
+					return false
+				}
+				if c.Better != d.Worse || c.Equal != d.Equal {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: degradation is non-negative, zero for the per-scenario best,
+// and at least one algorithm has zero degradation per scenario.
+func TestPropertyDegradationNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nAlgo := 2 + r.Intn(3)
+		nScen := 1 + r.Intn(30)
+		ms := make([][]float64, nAlgo)
+		for a := range ms {
+			ms[a] = make([]float64, nScen)
+			for s := range ms[a] {
+				ms[a][s] = 1 + 10*r.Float64()
+			}
+		}
+		d := DegradationFromBest(ms)
+		for a := range d {
+			if d[a].AvgOverAll < 0 || d[a].AvgOverNotBest < 0 {
+				return false
+			}
+			if d[a].NotBest > nScen {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

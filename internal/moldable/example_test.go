@@ -1,0 +1,23 @@
+package moldable_test
+
+import (
+	"fmt"
+
+	"repro/internal/moldable"
+)
+
+// ExampleModel shows the Amdahl speedup model of §II-A: a task with a 20%
+// sequential fraction speeds up sub-linearly, and its work (resource
+// consumption) grows with the allocation — the trade-off the RATS
+// time-cost strategy arbitrates through ρ.
+func ExampleModel() {
+	m := moldable.Model{SeqTime: 100, Alpha: 0.2}
+	for _, p := range []int{1, 2, 4, 8} {
+		fmt.Printf("p=%d  T=%5.1fs  work=%5.0f proc·s\n", p, m.Time(p), m.Work(p))
+	}
+	// Output:
+	// p=1  T=100.0s  work=  100 proc·s
+	// p=2  T= 60.0s  work=  120 proc·s
+	// p=4  T= 40.0s  work=  160 proc·s
+	// p=8  T= 30.0s  work=  240 proc·s
+}

@@ -1,0 +1,228 @@
+// Package platform models the homogeneous commodity clusters of §II-B of
+// the paper.
+//
+// A cluster has P identical single-core nodes, each with a private
+// full-duplex network link (latency λ, bandwidth β) attached to a switch.
+// Small clusters hang every node off one switch (chti, grillon); larger
+// ones group nodes into cabinets whose switches connect to a top-level
+// switch (grelon: five 24-node cabinets), forming a hierarchical network.
+//
+// Communications follow the bounded multi-port model: a node may exchange
+// data with several peers at once, but the bandwidth of its private link is
+// shared among the flows (max-min fairness, implemented in internal/sim).
+// As in SimGrid, an empirical per-flow bandwidth β' = min(β, Wmax/RTT)
+// accounts for the TCP window, with RTT twice the sum of link latencies
+// along the route.
+package platform
+
+import "fmt"
+
+// Link identifiers are dense integers so the max-min solver can use slice
+// indexing. Every node contributes an up (node→switch) and a down
+// (switch→node) directed link; every cabinet contributes an up and a down
+// uplink to the top switch.
+type LinkID = int
+
+// Cluster describes one homogeneous cluster.
+type Cluster struct {
+	Name        string
+	P           int     // number of nodes (= processors; one core per node)
+	SpeedGFlops float64 // per-node compute speed, GFlop/s (HPL-measured)
+
+	LinkLatency   float64 // λ of each private link, seconds
+	LinkBandwidth float64 // β of each private link, bytes/second
+
+	// CabinetSize > 0 switches the interconnect to the hierarchical layout:
+	// nodes [k·CabinetSize, (k+1)·CabinetSize) share cabinet k, and
+	// cross-cabinet routes traverse both cabinet uplinks.
+	CabinetSize     int
+	UplinkLatency   float64 // λ of a cabinet uplink, seconds
+	UplinkBandwidth float64 // β of a cabinet uplink, bytes/second
+
+	// WMax is the maximum TCP window size in bytes, used for the empirical
+	// bandwidth β' = min(β, WMax/RTT). The paper does not report SimGrid's
+	// setting; the presets use 4 MiB (non-binding on single-switch routes,
+	// mildly binding on long hierarchical routes), and it is configurable.
+	WMax float64
+}
+
+// Gigabit Ethernet figures used throughout the paper's experiments.
+const (
+	GigabitBandwidth = 1e9 / 8 // 1 Gb/s in bytes/second
+	GigabitLatency   = 100e-6  // 100 µs
+	DefaultWMax      = 4 << 20 // 4 MiB TCP window
+)
+
+// Chti returns the chti cluster (Lille): 20 nodes at 4.311 GFlop/s behind a
+// single gigabit switch (Table II).
+func Chti() *Cluster {
+	return &Cluster{
+		Name: "chti", P: 20, SpeedGFlops: 4.311,
+		LinkLatency: GigabitLatency, LinkBandwidth: GigabitBandwidth,
+		WMax: DefaultWMax,
+	}
+}
+
+// Grillon returns the grillon cluster (Nancy): 47 nodes at 3.379 GFlop/s
+// behind a single gigabit switch (Table II).
+func Grillon() *Cluster {
+	return &Cluster{
+		Name: "grillon", P: 47, SpeedGFlops: 3.379,
+		LinkLatency: GigabitLatency, LinkBandwidth: GigabitBandwidth,
+		WMax: DefaultWMax,
+	}
+}
+
+// Grelon returns the grelon cluster (Nancy): 120 nodes at 3.185 GFlop/s in
+// five 24-node cabinets behind a hierarchical switch (Table II). The paper
+// does not give the cabinet uplink bandwidth; 10 Gb/s (Grid'5000-era
+// backbone) is used and can be overridden.
+func Grelon() *Cluster {
+	return &Cluster{
+		Name: "grelon", P: 120, SpeedGFlops: 3.185,
+		LinkLatency: GigabitLatency, LinkBandwidth: GigabitBandwidth,
+		CabinetSize:   24,
+		UplinkLatency: GigabitLatency, UplinkBandwidth: 10 * GigabitBandwidth,
+		WMax: DefaultWMax,
+	}
+}
+
+// PaperClusters returns the three clusters in the order the paper's tables
+// report them: chti / grillon / grelon.
+func PaperClusters() []*Cluster {
+	return []*Cluster{Chti(), Grillon(), Grelon()}
+}
+
+// ByName returns the preset cluster with the given name.
+func ByName(name string) (*Cluster, error) {
+	switch name {
+	case "chti":
+		return Chti(), nil
+	case "grillon":
+		return Grillon(), nil
+	case "grelon":
+		return Grelon(), nil
+	}
+	return nil, fmt.Errorf("platform: unknown cluster %q (want chti, grillon or grelon)", name)
+}
+
+// Hierarchical reports whether the cluster uses the cabinet topology.
+func (c *Cluster) Hierarchical() bool { return c.CabinetSize > 0 }
+
+// Cabinets returns the number of cabinets (1 for flat clusters).
+func (c *Cluster) Cabinets() int {
+	if !c.Hierarchical() {
+		return 1
+	}
+	return (c.P + c.CabinetSize - 1) / c.CabinetSize
+}
+
+// Cabinet returns the cabinet index of a node (0 for flat clusters).
+func (c *Cluster) Cabinet(node int) int {
+	if !c.Hierarchical() {
+		return 0
+	}
+	return node / c.CabinetSize
+}
+
+// NumLinks returns the total number of directed links (node up/down pairs
+// plus cabinet uplink pairs).
+func (c *Cluster) NumLinks() int {
+	n := 2 * c.P
+	if c.Hierarchical() {
+		n += 2 * c.Cabinets()
+	}
+	return n
+}
+
+// Link ID layout.
+func (c *Cluster) nodeUp(node int) LinkID   { return 2 * node }
+func (c *Cluster) nodeDown(node int) LinkID { return 2*node + 1 }
+func (c *Cluster) cabUp(cab int) LinkID     { return 2*c.P + 2*cab }
+func (c *Cluster) cabDown(cab int) LinkID   { return 2*c.P + 2*cab + 1 }
+
+// LinkCapacity returns the bandwidth in bytes/second of a directed link.
+func (c *Cluster) LinkCapacity(l LinkID) float64 {
+	if l < 2*c.P {
+		return c.LinkBandwidth
+	}
+	return c.UplinkBandwidth
+}
+
+// LinkCapacities returns the capacity vector indexed by LinkID, ready for
+// the max-min solver.
+func (c *Cluster) LinkCapacities() []float64 {
+	caps := make([]float64, c.NumLinks())
+	for l := range caps {
+		caps[l] = c.LinkCapacity(l)
+	}
+	return caps
+}
+
+// Route returns the directed links traversed by a flow from node src to
+// node dst and the one-way latency of the route (sum of link latencies).
+// A self-route (src == dst) is empty with zero latency: intra-node copies
+// are free, which implements the paper's "no redistribution cost on the
+// same processor" assumption at the flow level.
+func (c *Cluster) Route(src, dst int) (links []LinkID, latency float64) {
+	if src == dst {
+		return nil, 0
+	}
+	if !c.Hierarchical() || c.Cabinet(src) == c.Cabinet(dst) {
+		return []LinkID{c.nodeUp(src), c.nodeDown(dst)}, 2 * c.LinkLatency
+	}
+	return []LinkID{
+			c.nodeUp(src),
+			c.cabUp(c.Cabinet(src)),
+			c.cabDown(c.Cabinet(dst)),
+			c.nodeDown(dst),
+		},
+		2*c.LinkLatency + 2*c.UplinkLatency
+}
+
+// RTT returns the round-trip time between two nodes: twice the sum of the
+// latencies of the links on the (symmetric) route, as in SimGrid.
+func (c *Cluster) RTT(src, dst int) float64 {
+	_, lat := c.Route(src, dst)
+	return 2 * lat
+}
+
+// EffectiveBandwidth returns the empirical per-flow bandwidth
+// β' = min(β, WMax/RTT) between two nodes, where β is the narrowest link on
+// the route. It is used both as the per-flow rate cap in the simulator and
+// by the schedulers' contention-free redistribution estimates.
+func (c *Cluster) EffectiveBandwidth(src, dst int) float64 {
+	links, _ := c.Route(src, dst)
+	if len(links) == 0 {
+		return 0 // self-flow: instantaneous, no bandwidth meaning
+	}
+	beta := c.LinkCapacity(links[0])
+	for _, l := range links[1:] {
+		if b := c.LinkCapacity(l); b < beta {
+			beta = b
+		}
+	}
+	if rtt := c.RTT(src, dst); rtt > 0 {
+		if cap := c.WMax / rtt; cap < beta {
+			return cap
+		}
+	}
+	return beta
+}
+
+// Validate checks the cluster description for consistency.
+func (c *Cluster) Validate() error {
+	switch {
+	case c.P <= 0:
+		return fmt.Errorf("platform %s: P = %d, must be positive", c.Name, c.P)
+	case c.SpeedGFlops <= 0:
+		return fmt.Errorf("platform %s: speed = %g GFlop/s, must be positive", c.Name, c.SpeedGFlops)
+	case c.LinkBandwidth <= 0 || c.LinkLatency < 0:
+		return fmt.Errorf("platform %s: invalid private link (β=%g, λ=%g)", c.Name, c.LinkBandwidth, c.LinkLatency)
+	case c.Hierarchical() && (c.UplinkBandwidth <= 0 || c.UplinkLatency < 0):
+		return fmt.Errorf("platform %s: invalid cabinet uplink (β=%g, λ=%g)", c.Name, c.UplinkBandwidth, c.UplinkLatency)
+	case c.WMax <= 0:
+		return fmt.Errorf("platform %s: WMax = %g, must be positive", c.Name, c.WMax)
+	}
+	return nil
+}

@@ -1,0 +1,314 @@
+// Package redist implements the 1-D block data redistribution model of
+// §II-A of the paper.
+//
+// A task working on an amount of data D mapped onto p processors gives each
+// of them D/p contiguous units (one-dimensional block distribution). When a
+// successor runs on q processors, the communication matrix M (p×q) is
+// obtained by intersecting the two block decompositions: M[i][j] is the
+// overlap between sender rank i's interval [i·D/p, (i+1)·D/p) and receiver
+// rank j's interval [j·D/q, (j+1)·D/q). Table I of the paper (10 units,
+// p=4 → q=5) is reproduced exactly by BlockMatrix and asserted in the
+// tests.
+//
+// Two properties matter to the schedulers:
+//
+//   - If the successor runs on the *same processor set with the same rank
+//     order* (p = q), the matrix is the identity: every transfer is local
+//     and the redistribution costs nothing. This is the assumption that
+//     RATS exploits by packing/stretching allocations onto a predecessor's
+//     exact processor set.
+//   - When the sets merely intersect, the receiver rank order is a free
+//     variable; AlignReceivers permutes it to maximize the number of bytes
+//     that stay on-node ("self communications"), optimally via a Hungarian
+//     assignment or greedily.
+package redist
+
+import (
+	"sort"
+
+	"repro/internal/assign"
+)
+
+// Matrix is a p×q block-redistribution communication matrix in rank space.
+// It is stored banded: row i only overlaps a contiguous range of columns,
+// so a p×q matrix holds O(p+q) non-zeros.
+type Matrix struct {
+	P, Q  int
+	Total float64 // total amount of data redistributed (bytes or units)
+
+	rowStart []int // first non-zero column of each row
+	rowVals  [][]float64
+}
+
+// BlockMatrix builds the communication matrix for redistributing total
+// units of data from a p-processor 1-D block layout to a q-processor one.
+//
+// Overlaps are computed in exact integer arithmetic: scaling positions by
+// p·q makes sender rank i cover [i·q, (i+1)·q) and receiver rank j cover
+// [j·p, (j+1)·p) in units of total/(p·q).
+func BlockMatrix(total float64, p, q int) Matrix {
+	if p <= 0 || q <= 0 {
+		panic("redist: BlockMatrix requires positive p and q")
+	}
+	m := Matrix{P: p, Q: q, Total: total,
+		rowStart: make([]int, p), rowVals: make([][]float64, p)}
+	unit := total / float64(p*q)
+	for i := 0; i < p; i++ {
+		// Sender i covers scaled interval [i·q, (i+1)·q).
+		lo, hi := i*q, (i+1)*q
+		jFirst := lo / p      // first receiver whose interval [j·p,(j+1)·p) intersects
+		jLast := (hi - 1) / p // last one
+		vals := make([]float64, jLast-jFirst+1)
+		for j := jFirst; j <= jLast; j++ {
+			rlo, rhi := j*p, (j+1)*p
+			ov := min(hi, rhi) - max(lo, rlo)
+			if ov > 0 {
+				vals[j-jFirst] = float64(ov) * unit
+			}
+		}
+		m.rowStart[i] = jFirst
+		m.rowVals[i] = vals
+	}
+	return m
+}
+
+// At returns M[i][j].
+func (m *Matrix) At(i, j int) float64 {
+	off := j - m.rowStart[i]
+	if off < 0 || off >= len(m.rowVals[i]) {
+		return 0
+	}
+	return m.rowVals[i][off]
+}
+
+// RowSum returns the amount of data sender rank i ships (its block size,
+// total/p, including any locally-kept part).
+func (m *Matrix) RowSum(i int) float64 {
+	s := 0.0
+	for _, v := range m.rowVals[i] {
+		s += v
+	}
+	return s
+}
+
+// ColSum returns the amount of data receiver rank j obtains (total/q).
+func (m *Matrix) ColSum(j int) float64 {
+	s := 0.0
+	for i := 0; i < m.P; i++ {
+		s += m.At(i, j)
+	}
+	return s
+}
+
+// Sum returns the total data volume in the matrix (= Total).
+func (m *Matrix) Sum() float64 {
+	s := 0.0
+	for i := 0; i < m.P; i++ {
+		s += m.RowSum(i)
+	}
+	return s
+}
+
+// NonZeros calls fn for every non-zero entry.
+func (m *Matrix) NonZeros(fn func(i, j int, v float64)) {
+	for i := 0; i < m.P; i++ {
+		for off, v := range m.rowVals[i] {
+			if v > 0 {
+				fn(i, m.rowStart[i]+off, v)
+			}
+		}
+	}
+}
+
+// IsIdentity reports whether the matrix is diagonal (p == q and every rank
+// keeps exactly its own block), i.e. the redistribution is free when sender
+// and receiver rank r live on the same processor.
+func (m *Matrix) IsIdentity() bool {
+	if m.P != m.Q {
+		return false
+	}
+	id := true
+	m.NonZeros(func(i, j int, v float64) {
+		if i != j {
+			id = false
+		}
+	})
+	return id
+}
+
+// Flow is one point-to-point transfer between physical processors.
+// SrcProc == DstProc denotes a local copy (free under the paper's model).
+type Flow struct {
+	SrcProc, DstProc int
+	Bytes            float64
+}
+
+// Flows expands the communication matrix for total units of data from the
+// physical sender processors (in rank order) to the physical receiver
+// processors (in rank order) into point-to-point flows, merging duplicate
+// (src,dst) pairs. Local flows are included; callers that only care about
+// wire traffic can skip entries with SrcProc == DstProc.
+func Flows(total float64, senders, receivers []int) []Flow {
+	m := BlockMatrix(total, len(senders), len(receivers))
+	var fs []Flow
+	seen := make(map[[2]int]int)
+	m.NonZeros(func(i, j int, v float64) {
+		key := [2]int{senders[i], receivers[j]}
+		if k, ok := seen[key]; ok {
+			fs[k].Bytes += v
+			return
+		}
+		seen[key] = len(fs)
+		fs = append(fs, Flow{SrcProc: senders[i], DstProc: receivers[j], Bytes: v})
+	})
+	return fs
+}
+
+// LocalBytes returns the number of units that stay on-node for the given
+// physical rank orders.
+func LocalBytes(total float64, senders, receivers []int) float64 {
+	local := 0.0
+	for _, f := range Flows(total, senders, receivers) {
+		if f.SrcProc == f.DstProc {
+			local += f.Bytes
+		}
+	}
+	return local
+}
+
+// RemoteBytes returns the number of units that must cross the network.
+func RemoteBytes(total float64, senders, receivers []int) float64 {
+	return total - LocalBytes(total, senders, receivers)
+}
+
+// SameSet reports whether two processor lists contain the same processors
+// (as sets). Together with equal lengths this is the paper's zero-cost
+// redistribution condition.
+func SameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AlignMode selects how AlignReceivers orders the receiver ranks.
+type AlignMode int
+
+const (
+	// AlignHungarian maximizes self-communication bytes optimally.
+	AlignHungarian AlignMode = iota
+	// AlignGreedy assigns shared processors to their best free receiver
+	// rank in decreasing-benefit order (cheap, near-optimal in practice).
+	AlignGreedy
+	// AlignNone keeps the receiver list order unchanged.
+	AlignNone
+)
+
+// AlignReceivers returns a permutation of receivers (a rank order) chosen
+// to maximize the bytes that stay local given the sender rank order. Only
+// processors present in both lists can produce local traffic; the others
+// fill the remaining ranks in their original relative order.
+func AlignReceivers(total float64, senders, receivers []int, mode AlignMode) []int {
+	if mode == AlignNone || len(receivers) == 0 {
+		return append([]int(nil), receivers...)
+	}
+	senderRank := make(map[int]int, len(senders))
+	for r, p := range senders {
+		senderRank[p] = r
+	}
+	var shared []int // processors in both sets
+	for _, p := range receivers {
+		if _, ok := senderRank[p]; ok {
+			shared = append(shared, p)
+		}
+	}
+	if len(shared) == 0 {
+		return append([]int(nil), receivers...)
+	}
+	m := BlockMatrix(total, len(senders), len(receivers))
+	q := len(receivers)
+
+	// benefit[s][j]: bytes kept local if shared proc s takes receiver rank j.
+	benefit := func(proc, j int) float64 { return m.At(senderRank[proc], j) }
+
+	rankOf := make(map[int]int, len(shared)) // proc -> chosen receiver rank
+	switch mode {
+	case AlignHungarian:
+		// Square |q|×|q| problem: rows are receiver slots; the first
+		// len(shared) rows are the shared processors, the rest are dummy
+		// (zero benefit everywhere).
+		w := make([][]float64, q)
+		for i := range w {
+			w[i] = make([]float64, q)
+		}
+		for si, p := range shared {
+			for j := 0; j < q; j++ {
+				w[si][j] = benefit(p, j)
+			}
+		}
+		asg, _ := assign.MaxWeight(w)
+		for si, p := range shared {
+			rankOf[p] = asg[si]
+		}
+	case AlignGreedy:
+		type cand struct {
+			proc, j int
+			b       float64
+		}
+		var cands []cand
+		for _, p := range shared {
+			for j := 0; j < q; j++ {
+				if b := benefit(p, j); b > 0 {
+					cands = append(cands, cand{p, j, b})
+				}
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].b != cands[b].b {
+				return cands[a].b > cands[b].b
+			}
+			if cands[a].proc != cands[b].proc {
+				return cands[a].proc < cands[b].proc
+			}
+			return cands[a].j < cands[b].j
+		})
+		usedRank := make([]bool, q)
+		for _, c := range cands {
+			if _, done := rankOf[c.proc]; done || usedRank[c.j] {
+				continue
+			}
+			rankOf[c.proc] = c.j
+			usedRank[c.j] = true
+		}
+	}
+
+	out := make([]int, q)
+	taken := make([]bool, q)
+	placed := make(map[int]bool, len(rankOf))
+	for p, r := range rankOf {
+		out[r] = p
+		taken[r] = true
+		placed[p] = true
+	}
+	slot := 0
+	for _, p := range receivers {
+		if placed[p] {
+			continue
+		}
+		for taken[slot] {
+			slot++
+		}
+		out[slot] = p
+		taken[slot] = true
+	}
+	return out
+}

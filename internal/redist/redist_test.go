@@ -1,0 +1,225 @@
+package redist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperTableI reproduces Table I of the paper exactly: 10 units of
+// data redistributed from p=4 to q=5 processors.
+func TestPaperTableI(t *testing.T) {
+	m := BlockMatrix(10, 4, 5)
+	want := [4][5]float64{
+		{2, 0.5, 0, 0, 0},
+		{0, 1.5, 1, 0, 0},
+		{0, 0, 1, 1.5, 0},
+		{0, 0, 0, 0.5, 2},
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			if got := m.At(i, j); math.Abs(got-want[i][j]) > 1e-12 {
+				t.Errorf("M[%d][%d] = %g, want %g", i, j, got, want[i][j])
+			}
+		}
+	}
+}
+
+func TestIdentityWhenSameCounts(t *testing.T) {
+	m := BlockMatrix(100, 6, 6)
+	if !m.IsIdentity() {
+		t.Fatal("p == q block matrix must be the identity")
+	}
+	for i := 0; i < 6; i++ {
+		if math.Abs(m.At(i, i)-100.0/6) > 1e-9 {
+			t.Errorf("diag[%d] = %g", i, m.At(i, i))
+		}
+	}
+	m45 := BlockMatrix(10, 4, 5)
+	if m45.IsIdentity() {
+		t.Error("4×5 matrix must not be identity")
+	}
+}
+
+// Property: conservation — rows sum to total/p, columns to total/q, and
+// the whole matrix to total.
+func TestPropertyConservation(t *testing.T) {
+	f := func(pr, qr uint8, tr uint16) bool {
+		p := int(pr)%32 + 1
+		q := int(qr)%32 + 1
+		total := float64(tr)/7 + 1
+		m := BlockMatrix(total, p, q)
+		if math.Abs(m.Sum()-total) > 1e-9*total {
+			return false
+		}
+		for i := 0; i < p; i++ {
+			if math.Abs(m.RowSum(i)-total/float64(p)) > 1e-9*total {
+				return false
+			}
+		}
+		for j := 0; j < q; j++ {
+			if math.Abs(m.ColSum(j)-total/float64(q)) > 1e-9*total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the band structure holds — each sender talks to at most
+// ceil(q/p)+1 receivers.
+func TestPropertyBandWidth(t *testing.T) {
+	f := func(pr, qr uint8) bool {
+		p := int(pr)%64 + 1
+		q := int(qr)%64 + 1
+		m := BlockMatrix(1000, p, q)
+		maxPeers := (q+p-1)/p + 1
+		for i := 0; i < p; i++ {
+			peers := 0
+			m.NonZeros(func(ii, j int, v float64) {
+				if ii == i {
+					peers++
+				}
+			})
+			if peers > maxPeers {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlowsMapping(t *testing.T) {
+	// 4 senders on procs 10..13, 5 receivers on procs 20..24.
+	senders := []int{10, 11, 12, 13}
+	receivers := []int{20, 21, 22, 23, 24}
+	fs := Flows(10, senders, receivers)
+	bytes := 0.0
+	for _, f := range fs {
+		if f.SrcProc < 10 || f.SrcProc > 13 || f.DstProc < 20 || f.DstProc > 24 {
+			t.Errorf("flow endpoints out of range: %+v", f)
+		}
+		bytes += f.Bytes
+	}
+	if math.Abs(bytes-10) > 1e-12 {
+		t.Errorf("total flow bytes = %g, want 10", bytes)
+	}
+	// Disjoint sets: no local traffic.
+	if lb := LocalBytes(10, senders, receivers); lb != 0 {
+		t.Errorf("LocalBytes = %g, want 0 for disjoint sets", lb)
+	}
+}
+
+func TestSameSetFreeRedistribution(t *testing.T) {
+	procs := []int{4, 7, 9}
+	if !SameSet(procs, []int{9, 4, 7}) {
+		t.Error("SameSet should be order-insensitive")
+	}
+	if SameSet(procs, []int{4, 7}) || SameSet(procs, []int{4, 7, 8}) {
+		t.Error("SameSet false positives")
+	}
+	// Same set, same order: everything is local.
+	if rb := RemoteBytes(99, procs, procs); rb != 0 {
+		t.Errorf("RemoteBytes = %g, want 0 on identical rank orders", rb)
+	}
+}
+
+func TestAlignReceiversRecoversIdentity(t *testing.T) {
+	// Receiver set equals sender set but scrambled; alignment must recover
+	// the fully-local order.
+	senders := []int{3, 1, 4, 1 + 4, 9, 2} // procs 3,1,4,5,9,2
+	receivers := []int{9, 2, 3, 5, 1, 4}
+	for _, mode := range []AlignMode{AlignHungarian, AlignGreedy} {
+		got := AlignReceivers(600, senders, receivers, mode)
+		for r, p := range got {
+			if senders[r] != p {
+				t.Errorf("mode %d: rank %d = proc %d, want %d", mode, r, p, senders[r])
+			}
+		}
+		if rb := RemoteBytes(600, senders, got); rb != 0 {
+			t.Errorf("mode %d: RemoteBytes = %g after alignment, want 0", mode, rb)
+		}
+	}
+}
+
+func TestAlignReceiversPartialOverlap(t *testing.T) {
+	senders := []int{0, 1, 2, 3}
+	receivers := []int{7, 2, 8, 1, 9} // shares procs 1 and 2
+	aligned := AlignReceivers(10, senders, receivers, AlignHungarian)
+	// Alignment must not lose or duplicate processors.
+	if !SameSet(aligned, receivers) {
+		t.Fatalf("aligned %v is not a permutation of %v", aligned, receivers)
+	}
+	before := LocalBytes(10, senders, receivers)
+	after := LocalBytes(10, senders, aligned)
+	if after < before-1e-12 {
+		t.Errorf("alignment decreased local bytes: %g -> %g", before, after)
+	}
+	if after <= 0 {
+		t.Errorf("expected some local traffic after alignment, got %g", after)
+	}
+}
+
+func TestAlignNoneKeepsOrder(t *testing.T) {
+	receivers := []int{5, 6, 7}
+	got := AlignReceivers(10, []int{5, 6, 7}, receivers, AlignNone)
+	for i := range receivers {
+		if got[i] != receivers[i] {
+			t.Fatalf("AlignNone permuted the receivers: %v", got)
+		}
+	}
+}
+
+// Property: Hungarian alignment is at least as good as greedy, which is at
+// least as good as none; and all modes return permutations.
+func TestPropertyAlignmentDominance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nProcs := 12
+		p := 1 + r.Intn(6)
+		q := 1 + r.Intn(6)
+		perm := r.Perm(nProcs)
+		senders := perm[:p]
+		perm2 := r.Perm(nProcs)
+		receivers := perm2[:q]
+		total := 100.0
+		hung := AlignReceivers(total, senders, receivers, AlignHungarian)
+		greedy := AlignReceivers(total, senders, receivers, AlignGreedy)
+		if !SameSet(hung, receivers) || !SameSet(greedy, receivers) {
+			return false
+		}
+		lbH := LocalBytes(total, senders, hung)
+		lbG := LocalBytes(total, senders, greedy)
+		lbN := LocalBytes(total, senders, receivers)
+		return lbH >= lbG-1e-9 && lbH >= lbN-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBlockMatrix120x120(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BlockMatrix(1e9, 120, 120)
+	}
+}
+
+func BenchmarkAlignHungarian32(b *testing.B) {
+	senders := make([]int, 32)
+	receivers := make([]int, 32)
+	for i := range senders {
+		senders[i] = i
+		receivers[i] = 31 - i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AlignReceivers(1e9, senders, receivers, AlignHungarian)
+	}
+}

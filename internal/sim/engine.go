@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// completionEps is the residual byte count below which a fluid flow is
+// considered drained. All transfers in this repository are ≥ kilobytes, so
+// a micro-byte tolerance is safely below any meaningful volume.
+const completionEps = 1e-6
+
+// Engine is the discrete-event core: a virtual clock, a timer queue and a
+// set of active fluid flows whose rates are re-solved with MaxMin whenever
+// the flow population changes.
+//
+// The zero value is not usable; create engines with New. Engines are not
+// safe for concurrent use (simulations are single-threaded; parallelism in
+// the experiment harness is across independent engines).
+type Engine struct {
+	now      float64
+	linkCaps []float64
+	flows    []*flow
+	timers   timerHeap
+	seq      int64
+	dirty    bool // flow set changed; rates must be recomputed
+
+	// Scratch buffers reused across rate recomputations.
+	solver     maxMinSolver
+	scratchLnk [][]int
+	scratchCap []float64
+}
+
+type flow struct {
+	links     []int
+	rateCap   float64
+	remaining float64
+	rate      float64
+	done      func()
+}
+
+type timer struct {
+	at  float64
+	seq int64 // FIFO tie-break for simultaneous timers
+	fn  func()
+}
+
+type timerHeap []timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// New creates an engine over links with the given capacities (bytes/s).
+func New(linkCaps []float64) *Engine {
+	return &Engine{linkCaps: linkCaps}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.timers, timer{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
+
+// StartFlow begins a transfer of bytes over the given links after an
+// initial latency, invoking done at completion.
+//
+// Self-flows (no links) and empty transfers complete after the latency
+// alone — this implements the paper's free intra-node copies and zero-byte
+// virtual edges. rateCap, if positive, bounds the flow's rate (β').
+func (e *Engine) StartFlow(links []int, rateCap, latency, bytes float64, done func()) {
+	if len(links) == 0 || bytes <= completionEps {
+		e.After(latency, done)
+		return
+	}
+	e.After(latency, func() {
+		e.flows = append(e.flows, &flow{
+			links: links, rateCap: rateCap, remaining: bytes, done: done,
+		})
+		e.dirty = true
+	})
+}
+
+// ActiveFlows returns the number of in-flight fluid flows (post-latency).
+func (e *Engine) ActiveFlows() int { return len(e.flows) }
+
+// recompute re-solves the max-min rate allocation.
+func (e *Engine) recompute() {
+	n := len(e.flows)
+	if cap(e.scratchLnk) < n {
+		e.scratchLnk = make([][]int, n)
+		e.scratchCap = make([]float64, n)
+	}
+	flowLinks := e.scratchLnk[:n]
+	flowCaps := e.scratchCap[:n]
+	for i, f := range e.flows {
+		flowLinks[i] = f.links
+		flowCaps[i] = f.rateCap
+	}
+	rates := e.solver.Solve(e.linkCaps, flowLinks, flowCaps)
+	for i, f := range e.flows {
+		f.rate = rates[i]
+	}
+	e.dirty = false
+}
+
+// Run advances the simulation until no events remain. It returns the final
+// virtual time. Run panics if the simulation cannot make progress (a flow
+// with zero rate and no other event), which would indicate a zero-capacity
+// link in the platform description.
+func (e *Engine) Run() float64 {
+	for {
+		if e.dirty {
+			e.recompute()
+		}
+		// Complete drained flows first. A flow also counts as drained when
+		// its residual volume cannot advance the clock by even one ULP
+		// (now + remaining/rate == now): letting such residues linger
+		// would livelock the loop below.
+		kept := e.flows[:0]
+		var completed []*flow
+		for _, f := range e.flows {
+			drained := f.remaining <= completionEps ||
+				(f.rate > 0 && e.now+f.remaining/f.rate <= e.now)
+			if drained {
+				completed = append(completed, f)
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		if len(completed) > 0 {
+			e.flows = kept
+			e.dirty = true
+			for _, f := range completed {
+				if f.done != nil {
+					f.done()
+				}
+			}
+			continue
+		}
+		// Next flow completion and next timer.
+		tFlow := math.Inf(1)
+		for _, f := range e.flows {
+			if f.rate <= 0 {
+				continue
+			}
+			if t := e.now + f.remaining/f.rate; t < tFlow {
+				tFlow = t
+			}
+		}
+		tTimer := math.Inf(1)
+		if len(e.timers) > 0 {
+			tTimer = e.timers[0].at
+		}
+		t := math.Min(tFlow, tTimer)
+		if math.IsInf(t, 1) {
+			if len(e.flows) > 0 {
+				panic(fmt.Sprintf("sim: %d flows stalled with zero rate at t=%g", len(e.flows), e.now))
+			}
+			return e.now
+		}
+		// Drain flows up to t; completions are handled at the top of the
+		// next iteration.
+		if t > e.now {
+			dt := t - e.now
+			for _, f := range e.flows {
+				f.remaining -= f.rate * dt
+				if f.remaining < 0 {
+					f.remaining = 0
+				}
+			}
+			e.now = t
+		}
+		// Fire due timers.
+		for len(e.timers) > 0 && e.timers[0].at <= e.now {
+			it := heap.Pop(&e.timers).(timer)
+			it.fn()
+		}
+	}
+}

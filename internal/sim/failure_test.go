@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// Failure injection: the engine must fail loudly (panic with context)
+// rather than spin when a platform description is broken.
+
+func TestStalledFlowPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("zero-capacity link should panic, not hang")
+		}
+		if !strings.Contains(r.(string), "stalled") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	e := New([]float64{0}) // broken platform: zero-capacity link
+	e.StartFlow([]int{0}, 0, 0, 100, nil)
+	e.Run()
+}
+
+func TestPastTimerClampsToNow(t *testing.T) {
+	e := New(nil)
+	var order []string
+	e.At(5, func() {
+		// Scheduling into the past must fire "now", after the current
+		// instant's remaining callbacks, not violate time monotonicity.
+		e.At(1, func() { order = append(order, "late") })
+		order = append(order, "first")
+	})
+	end := e.Run()
+	if end != 5 {
+		t.Errorf("end = %g, want 5", end)
+	}
+	if len(order) != 2 || order[0] != "first" || order[1] != "late" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestSubResolutionResidueCompletes(t *testing.T) {
+	// Regression test for the fluid-drain livelock: a flow whose residual
+	// drain time is below the clock's floating-point resolution must still
+	// complete. Start a big flow, then at a large "now" start a tiny one.
+	e := New([]float64{1e8})
+	var tinyDone bool
+	e.At(1e9, func() { // now is huge: ULP(1e9) ≈ 1.2e-7 s
+		// 1 byte at 1e8 B/s needs 1e-8 s < ULP(now).
+		e.StartFlow([]int{0}, 0, 0, 1, func() { tinyDone = true })
+	})
+	e.Run()
+	if !tinyDone {
+		t.Fatal("sub-resolution flow never completed")
+	}
+}
+
+func TestManySimultaneousFlows(t *testing.T) {
+	// Stress: 500 flows on one link all complete, conserving total bytes.
+	e := New([]float64{1000})
+	done := 0
+	for i := 0; i < 500; i++ {
+		e.StartFlow([]int{0}, 0, 0, 10, func() { done++ })
+	}
+	end := e.Run()
+	if done != 500 {
+		t.Fatalf("completed %d/500 flows", done)
+	}
+	// 5000 bytes through a 1000 B/s link: exactly 5 seconds.
+	if end < 4.99 || end > 5.01 {
+		t.Errorf("end = %g, want ≈5", end)
+	}
+}

@@ -1,0 +1,244 @@
+// Package simdag replays a static schedule on a simulated cluster and
+// measures its actual makespan under network contention.
+//
+// This is the evaluation half of the paper's methodology (§IV): the
+// scheduling algorithms decide *where* and *in which order* tasks run,
+// using contention-free estimates; the replay then executes the schedule
+// in the flow-level simulator of internal/sim, where every redistribution
+// becomes a set of point-to-point flows sharing link bandwidth under
+// max-min fairness. Start dates therefore shift whenever redistributions
+// contend, exactly the effect RATS is designed to mitigate.
+//
+// Replay semantics:
+//
+//   - Each processor executes its tasks in schedule (mapping) order.
+//   - A task starts once (a) it is at the head of the queue of every
+//     processor of its set, and (b) the redistribution of every in-edge
+//     has completed.
+//   - The redistribution of an edge starts as soon as the producer task
+//     finishes (communication overlaps unrelated computation: it occupies
+//     NICs and links, not CPUs).
+//   - Intra-node flows and zero-byte (virtual) edges complete instantly.
+//
+// Because tasks are mapped in a precedence-compatible total order, the
+// per-processor FIFO discipline cannot deadlock.
+package simdag
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/moldable"
+	"repro/internal/platform"
+	"repro/internal/redist"
+	"repro/internal/sim"
+)
+
+// Result reports the outcome of one replay.
+type Result struct {
+	Start    []float64 // actual start time of each task
+	Finish   []float64 // actual finish time of each task
+	Makespan float64   // finish time of the exit task
+
+	RemoteBytes float64 // bytes that crossed the network
+	LocalBytes  float64 // bytes kept on-node by redistributions
+	FlowCount   int     // point-to-point wire flows simulated
+	EdgeFinish  []float64
+}
+
+// Execute replays schedule s of graph g on cluster cl and returns the
+// measured times. It returns an error if the schedule is structurally
+// invalid or the replay fails to complete every task (which would indicate
+// a scheduling bug rather than a property of the workload).
+func Execute(g *dag.Graph, costs *moldable.Costs, cl *platform.Cluster, s *core.Schedule) (*Result, error) {
+	if err := s.Validate(g, cl); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	res := &Result{
+		Start:      make([]float64, n),
+		Finish:     make([]float64, n),
+		EdgeFinish: make([]float64, len(g.Edges)),
+	}
+	eng := sim.New(cl.LinkCapacities())
+
+	// Per-processor task queues in mapping order.
+	queues := make([][]int, cl.P)
+	for _, t := range s.Order {
+		for _, p := range s.Procs[t] {
+			queues[p] = append(queues[p], t)
+		}
+	}
+	cursor := make([]int, cl.P)
+
+	edgesLeft := make([]int, n)
+	for t := 0; t < n; t++ {
+		edgesLeft[t] = len(g.In(t))
+	}
+	started := make([]bool, n)
+	finished := make([]bool, n)
+	nFinished := 0
+
+	var tryStart func(t int)
+	var onFinish func(t int)
+
+	atHead := func(t int) bool {
+		for _, p := range s.Procs[t] {
+			q := queues[p]
+			if cursor[p] >= len(q) || q[cursor[p]] != t {
+				return false
+			}
+		}
+		return true
+	}
+
+	startRedist := func(e dag.Edge) {
+		to := e.To
+		if e.Bytes <= 0 || g.Tasks[e.From].Virtual || g.Tasks[to].Virtual ||
+			len(s.Procs[e.From]) == 0 || len(s.Procs[to]) == 0 {
+			res.EdgeFinish[e.ID] = eng.Now()
+			edgesLeft[to]--
+			tryStart(to)
+			return
+		}
+		flows := redist.Flows(e.Bytes, s.Procs[e.From], s.Procs[to])
+		pending := 0
+		for _, f := range flows {
+			if f.SrcProc == f.DstProc {
+				res.LocalBytes += f.Bytes
+				continue
+			}
+			pending++
+		}
+		if pending == 0 {
+			res.EdgeFinish[e.ID] = eng.Now()
+			edgesLeft[to]--
+			tryStart(to)
+			return
+		}
+		eid := e.ID
+		remaining := pending
+		for _, f := range flows {
+			if f.SrcProc == f.DstProc {
+				continue
+			}
+			links, lat := cl.Route(f.SrcProc, f.DstProc)
+			rateCap := cl.EffectiveBandwidth(f.SrcProc, f.DstProc)
+			res.RemoteBytes += f.Bytes
+			res.FlowCount++
+			eng.StartFlow(links, rateCap, lat, f.Bytes, func() {
+				remaining--
+				if remaining == 0 {
+					res.EdgeFinish[eid] = eng.Now()
+					edgesLeft[to]--
+					tryStart(to)
+				}
+			})
+		}
+	}
+
+	onFinish = func(t int) {
+		res.Finish[t] = eng.Now()
+		finished[t] = true
+		nFinished++
+		for _, p := range s.Procs[t] {
+			cursor[p]++
+			if cursor[p] < len(queues[p]) {
+				tryStart(queues[p][cursor[p]])
+			}
+		}
+		for _, eid := range g.Out(t) {
+			startRedist(g.Edges[eid])
+		}
+	}
+
+	tryStart = func(t int) {
+		if started[t] || edgesLeft[t] > 0 || !atHead(t) {
+			return
+		}
+		started[t] = true
+		res.Start[t] = eng.Now()
+		dur := 0.0
+		if !g.Tasks[t].Virtual {
+			dur = costs.Time(t, len(s.Procs[t]))
+		}
+		eng.After(dur, func() { onFinish(t) })
+	}
+
+	// Seed: any task with no in-edges can start (typically the entry).
+	for t := 0; t < n; t++ {
+		if edgesLeft[t] == 0 {
+			tryStart(t)
+		}
+	}
+	eng.Run()
+
+	if nFinished != n {
+		return nil, fmt.Errorf("simdag: replay stalled with %d/%d tasks finished", nFinished, n)
+	}
+	for t := 0; t < n; t++ {
+		if res.Finish[t] > res.Makespan {
+			res.Makespan = res.Finish[t]
+		}
+	}
+	return res, nil
+}
+
+// Gantt renders a plain-text Gantt chart of a replay (one line per
+// processor), for the CLI and the examples. Width is the number of
+// character cells used for the makespan.
+func Gantt(g *dag.Graph, s *core.Schedule, r *Result, width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	if r.Makespan <= 0 {
+		return "(empty schedule)\n"
+	}
+	// Build per-proc rows.
+	nProcs := 0
+	for _, ps := range s.Procs {
+		for _, p := range ps {
+			if p+1 > nProcs {
+				nProcs = p + 1
+			}
+		}
+	}
+	rows := make([][]byte, nProcs)
+	for i := range rows {
+		rows[i] = make([]byte, width)
+		for j := range rows[i] {
+			rows[i][j] = '.'
+		}
+	}
+	glyph := func(t int) byte {
+		const alpha = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+		return alpha[t%len(alpha)]
+	}
+	for t := range g.Tasks {
+		if g.Tasks[t].Virtual {
+			continue
+		}
+		lo := int(r.Start[t] / r.Makespan * float64(width))
+		hi := int(r.Finish[t] / r.Makespan * float64(width))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		for _, p := range s.Procs[t] {
+			for x := lo; x < hi; x++ {
+				rows[p][x] = glyph(t)
+			}
+		}
+	}
+	out := make([]byte, 0, nProcs*(width+8))
+	for p, row := range rows {
+		out = append(out, []byte(fmt.Sprintf("p%03d |", p))...)
+		out = append(out, row...)
+		out = append(out, '\n')
+	}
+	out = append(out, []byte(fmt.Sprintf("makespan = %.4g s\n", r.Makespan))...)
+	return string(out)
+}

@@ -1,0 +1,147 @@
+// Package trace derives post-mortem statistics and exportable execution
+// traces from a replayed schedule.
+//
+// Stats quantifies what the scheduling papers argue about: processor
+// utilization, time spent waiting on redistributions, and how much of the
+// makespan is pure communication exposure. ChromeTrace exports the replay
+// in the Chrome trace-event JSON format (load via chrome://tracing or
+// Perfetto) with one timeline row per processor plus one per network
+// redistribution, which makes the pack/stretch effects of RATS directly
+// visible.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/simdag"
+)
+
+// Stats summarizes one replayed schedule.
+type Stats struct {
+	Makespan float64
+	// BusyTime is Σ over tasks of duration·|procs| (processor-seconds of
+	// computation).
+	BusyTime float64
+	// Utilization is BusyTime / (P·Makespan) for the processors that ran
+	// at least one task (PUsed).
+	Utilization float64
+	PUsed       int
+	// RedistExposure is Σ over edges of the interval between producer
+	// finish and redistribution completion — the serialized communication
+	// cost the schedule actually paid (zero for adopted processor sets).
+	RedistExposure float64
+	// FreeEdges counts real edges whose redistribution completed at the
+	// instant the producer finished (local or empty transfers).
+	FreeEdges int
+	// PaidEdges counts real edges that put traffic on the wire.
+	PaidEdges int
+	// CriticalWait is the largest single redistribution exposure.
+	CriticalWait float64
+}
+
+// Compute derives Stats from a schedule and its replay result.
+func Compute(g *dag.Graph, s *core.Schedule, r *simdag.Result) Stats {
+	st := Stats{Makespan: r.Makespan}
+	used := map[int]bool{}
+	for t := range g.Tasks {
+		if g.Tasks[t].Virtual {
+			continue
+		}
+		dur := r.Finish[t] - r.Start[t]
+		st.BusyTime += dur * float64(len(s.Procs[t]))
+		for _, p := range s.Procs[t] {
+			used[p] = true
+		}
+	}
+	st.PUsed = len(used)
+	if st.PUsed > 0 && st.Makespan > 0 {
+		st.Utilization = st.BusyTime / (float64(st.PUsed) * st.Makespan)
+	}
+	for _, e := range g.Edges {
+		if g.Tasks[e.From].Virtual || g.Tasks[e.To].Virtual {
+			continue
+		}
+		wait := r.EdgeFinish[e.ID] - r.Finish[e.From]
+		if wait < 1e-12 {
+			st.FreeEdges++
+			continue
+		}
+		st.PaidEdges++
+		st.RedistExposure += wait
+		if wait > st.CriticalWait {
+			st.CriticalWait = wait
+		}
+	}
+	return st
+}
+
+// String renders the stats as a compact human-readable block.
+func (st Stats) String() string {
+	return fmt.Sprintf(
+		"makespan %.3fs | %d procs used, utilization %.1f%% | redistributions: %d free, %d paid, %.3fs exposure (max %.3fs)",
+		st.Makespan, st.PUsed, 100*st.Utilization,
+		st.FreeEdges, st.PaidEdges, st.RedistExposure, st.CriticalWait)
+}
+
+// chromeEvent is one trace-event record ("X" = complete event).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace writes the replay as Chrome trace-event JSON. Processor
+// timelines use pid 0 with one tid per processor; redistribution timelines
+// use pid 1 with one tid per consumer task.
+func ChromeTrace(w io.Writer, g *dag.Graph, s *core.Schedule, r *simdag.Result) error {
+	var events []chromeEvent
+	sec := 1e6 // trace timestamps are microseconds
+	for t := range g.Tasks {
+		if g.Tasks[t].Virtual {
+			continue
+		}
+		name := g.Tasks[t].Name
+		if name == "" {
+			name = fmt.Sprintf("task %d", t)
+		}
+		for _, p := range s.Procs[t] {
+			events = append(events, chromeEvent{
+				Name: name, Cat: "compute", Ph: "X",
+				TS: r.Start[t] * sec, Dur: (r.Finish[t] - r.Start[t]) * sec,
+				PID: 0, TID: p,
+				Args: map[string]string{
+					"alloc": fmt.Sprint(len(s.Procs[t])),
+				},
+			})
+		}
+	}
+	for _, e := range g.Edges {
+		if g.Tasks[e.From].Virtual || g.Tasks[e.To].Virtual || e.Bytes <= 0 {
+			continue
+		}
+		dur := r.EdgeFinish[e.ID] - r.Finish[e.From]
+		if dur <= 0 {
+			continue
+		}
+		events = append(events, chromeEvent{
+			Name: fmt.Sprintf("redist %d→%d", e.From, e.To),
+			Cat:  "network", Ph: "X",
+			TS: r.Finish[e.From] * sec, Dur: dur * sec,
+			PID: 1, TID: e.To,
+			Args: map[string]string{"bytes": fmt.Sprintf("%.0f", e.Bytes)},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+}

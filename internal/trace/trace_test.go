@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/gen"
+	"repro/internal/moldable"
+	"repro/internal/platform"
+	"repro/internal/simdag"
+)
+
+func replayFFT(t *testing.T, strategy core.Strategy) (*dag.Graph, *core.Schedule, *simdag.Result) {
+	t.Helper()
+	cl := platform.Grillon()
+	g := gen.FFT(8, 5)
+	costs := moldable.NewCosts(g, cl.SpeedGFlops)
+	a := alloc.Compute(g, costs, cl, alloc.DefaultOptions())
+	s := core.Map(g, costs, cl, a, core.DefaultNaive(strategy))
+	r, err := simdag.Execute(g, costs, cl, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s, r
+}
+
+func TestStatsBasicInvariants(t *testing.T) {
+	g, s, r := replayFFT(t, core.StrategyTimeCost)
+	st := Compute(g, s, r)
+	if st.Makespan != r.Makespan {
+		t.Errorf("makespan %g, want %g", st.Makespan, r.Makespan)
+	}
+	if st.Utilization <= 0 || st.Utilization > 1+1e-9 {
+		t.Errorf("utilization %g outside (0,1]", st.Utilization)
+	}
+	if st.PUsed < 1 || st.PUsed > 47 {
+		t.Errorf("PUsed = %d", st.PUsed)
+	}
+	// Every real edge is either free or paid.
+	realEdges := 0
+	for _, e := range g.Edges {
+		if !g.Tasks[e.From].Virtual && !g.Tasks[e.To].Virtual {
+			realEdges++
+		}
+	}
+	if st.FreeEdges+st.PaidEdges != realEdges {
+		t.Errorf("free %d + paid %d != real edges %d", st.FreeEdges, st.PaidEdges, realEdges)
+	}
+	if st.RedistExposure < 0 || st.CriticalWait < 0 {
+		t.Error("negative exposure")
+	}
+	if st.CriticalWait > st.RedistExposure+1e-9 {
+		t.Error("max wait cannot exceed total exposure")
+	}
+	if !strings.Contains(st.String(), "makespan") {
+		t.Error("String() missing content")
+	}
+}
+
+func TestRATSIncreasesFreeEdgesOverBaseline(t *testing.T) {
+	g, sb, rb := replayFFT(t, core.StrategyNone)
+	_, sd, rd := replayFFT(t, core.StrategyDelta)
+	base := Compute(g, sb, rb)
+	delta := Compute(g, sd, rd)
+	if delta.FreeEdges < base.FreeEdges {
+		t.Errorf("delta free edges %d < baseline %d; adoption should only add free redistributions",
+			delta.FreeEdges, base.FreeEdges)
+	}
+}
+
+func TestChromeTraceWellFormed(t *testing.T) {
+	g, s, r := replayFFT(t, core.StrategyDelta)
+	var buf bytes.Buffer
+	if err := ChromeTrace(&buf, g, s, r); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	compute, network := 0, 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.TS < 0 || ev.Dur < 0 {
+			t.Fatalf("malformed event %+v", ev)
+		}
+		switch ev.PID {
+		case 0:
+			compute++
+		case 1:
+			network++
+		}
+	}
+	if compute == 0 {
+		t.Error("no compute events")
+	}
+	if network == 0 {
+		t.Error("no network events (FFT on baseline-sized allocations should pay some redistributions)")
+	}
+}
+
+func TestStatsEmptySchedule(t *testing.T) {
+	g := dag.NewGraph(1, 0)
+	g.AddVirtual("only")
+	s := &core.Schedule{
+		Alloc: []int{0}, Procs: [][]int{nil}, Order: []int{0},
+		EstStart: []float64{0}, EstFinish: []float64{0},
+	}
+	r := &simdag.Result{Start: []float64{0}, Finish: []float64{0}}
+	st := Compute(g, s, r)
+	if st.BusyTime != 0 || st.PUsed != 0 || st.Utilization != 0 {
+		t.Errorf("virtual-only stats should be zero: %+v", st)
+	}
+}
