@@ -1,6 +1,7 @@
 // Command dagger generates mixed-parallel application task graphs (the
 // workloads of Table III) and writes them as Graphviz DOT or JSON — a
-// reimplementation of the paper's DAG generation program (reference [12]).
+// reimplementation of the paper's DAG generation program (reference [12]),
+// built on the public rats API.
 //
 // Usage:
 //
@@ -14,8 +15,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/dag"
-	"repro/internal/gen"
+	"repro/rats"
 )
 
 func main() {
@@ -30,31 +30,37 @@ func main() {
 	format := flag.String("format", "dot", "output format: dot or json")
 	flag.Parse()
 
-	var g *dag.Graph
+	var d *rats.DAG
 	switch *app {
 	case "layered":
-		g = gen.Random(gen.RandomParams{N: *n, Width: *width, Density: *density, Regularity: *regularity, Layered: true, Seed: *seed})
+		d = rats.Random(rats.RandomSpec{N: *n, Width: *width, Density: *density,
+			Regularity: *regularity, Layered: true, Seed: *seed})
 	case "irregular":
-		g = gen.Random(gen.RandomParams{N: *n, Width: *width, Density: *density, Regularity: *regularity, Jump: *jump, Seed: *seed})
+		d = rats.Random(rats.RandomSpec{N: *n, Width: *width, Density: *density,
+			Regularity: *regularity, Jump: *jump, Seed: *seed})
 	case "fft":
-		g = gen.FFT(*k, *seed)
+		d = rats.FFT(*k, *seed)
 	case "strassen":
-		g = gen.Strassen(*seed)
+		d = rats.Strassen(*seed)
 	default:
 		fmt.Fprintf(os.Stderr, "dagger: unknown application kind %q\n", *app)
+		os.Exit(1)
+	}
+	if err := d.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "dagger:", err)
 		os.Exit(1)
 	}
 
 	switch *format {
 	case "dot":
-		if err := g.WriteDOT(os.Stdout); err != nil {
+		if err := d.WriteDOT(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "dagger:", err)
 			os.Exit(1)
 		}
 	case "json":
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(g); err != nil {
+		if err := enc.Encode(d); err != nil {
 			fmt.Fprintln(os.Stderr, "dagger:", err)
 			os.Exit(1)
 		}

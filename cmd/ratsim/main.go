@@ -1,11 +1,11 @@
 // Command ratsim schedules one mixed-parallel application on one simulated
-// cluster and reports the outcome of every algorithm: HCPA baseline,
-// RATS-delta and RATS-time-cost.
+// cluster through the public rats API and reports the outcome of every
+// algorithm: HCPA baseline, RATS-delta and RATS-time-cost.
 //
 // Usage:
 //
 //	ratsim [-app KIND] [-n N] [-k K] [-width W] [-density D] [-regularity R]
-//	       [-jump J] [-seed S] [-cluster NAME] [-gantt] [-algo NAME]
+//	       [-jump J] [-seed S] [-cluster NAME] [-gantt] [-algo NAME] [-json]
 //
 // Examples:
 //
@@ -14,18 +14,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/alloc"
-	"repro/internal/core"
-	"repro/internal/dag"
-	"repro/internal/gen"
-	"repro/internal/moldable"
-	"repro/internal/platform"
-	"repro/internal/simdag"
-	"repro/internal/trace"
+	"repro/rats"
 )
 
 func main() {
@@ -41,78 +35,98 @@ func main() {
 	gantt := flag.Bool("gantt", false, "print a Gantt chart per algorithm")
 	algoFilter := flag.String("algo", "", "run only one algorithm: hcpa, delta, time-cost")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file per algorithm (prefix)")
+	asJSON := flag.Bool("json", false, "emit one JSON result per algorithm instead of text")
 	flag.Parse()
 
-	if err := run(*app, *n, *k, *width, *density, *regularity, *jump, *seed, *clusterName, *gantt, *algoFilter, *traceOut); err != nil {
+	if err := run(*app, *n, *k, *width, *density, *regularity, *jump, *seed,
+		*clusterName, *gantt, *algoFilter, *traceOut, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "ratsim:", err)
 		os.Exit(1)
 	}
 }
 
-func buildGraph(app string, n, k int, width, density, regularity float64, jump int, seed int64) (*dag.Graph, error) {
+func buildDAG(app string, n, k int, width, density, regularity float64, jump int, seed int64) (*rats.DAG, error) {
 	switch app {
 	case "layered":
-		return gen.Random(gen.RandomParams{N: n, Width: width, Density: density, Regularity: regularity, Layered: true, Seed: seed}), nil
+		return rats.Random(rats.RandomSpec{N: n, Width: width, Density: density,
+			Regularity: regularity, Layered: true, Seed: seed}), nil
 	case "irregular":
-		return gen.Random(gen.RandomParams{N: n, Width: width, Density: density, Regularity: regularity, Jump: jump, Seed: seed}), nil
+		return rats.Random(rats.RandomSpec{N: n, Width: width, Density: density,
+			Regularity: regularity, Jump: jump, Seed: seed}), nil
 	case "fft":
-		return gen.FFT(k, seed), nil
+		return rats.FFT(k, seed), nil
 	case "strassen":
-		return gen.Strassen(seed), nil
+		return rats.Strassen(seed), nil
 	}
 	return nil, fmt.Errorf("unknown application kind %q", app)
 }
 
-func run(app string, n, k int, width, density, regularity float64, jump int, seed int64, clusterName string, gantt bool, algoFilter, traceOut string) error {
-	cl, err := platform.ByName(clusterName)
+func run(app string, n, k int, width, density, regularity float64, jump int, seed int64,
+	clusterName string, gantt bool, algoFilter, traceOut string, asJSON bool) error {
+	cl, err := rats.ClusterByName(clusterName)
 	if err != nil {
 		return err
 	}
-	g, err := buildGraph(app, n, k, width, density, regularity, jump, seed)
+	// One DAG for the whole run: finalized here, read-only for every
+	// algorithm afterwards.
+	d, err := buildDAG(app, n, k, width, density, regularity, jump, seed)
 	if err != nil {
 		return err
 	}
-	if err := g.Validate(); err != nil {
+	if err := d.Build(); err != nil {
 		return err
 	}
-	costs := moldable.NewCosts(g, cl.SpeedGFlops)
-	allocation := alloc.Compute(g, costs, cl, alloc.DefaultOptions())
-
-	fmt.Printf("application: %s (%d tasks, %d edges, max width %d)\n",
-		app, g.RealTaskCount(), len(g.Edges), g.MaxWidth())
-	fmt.Printf("cluster    : %s (%d procs @ %.3f GFlop/s)\n\n", cl.Name, cl.P, cl.SpeedGFlops)
-
-	type variant struct {
-		name string
-		opts core.Options
+	var only rats.Strategy
+	if algoFilter != "" {
+		if only, err = rats.ParseStrategy(algoFilter); err != nil {
+			return err
+		}
 	}
-	variants := []variant{
-		{"hcpa", core.Options{Strategy: core.StrategyNone, SortSecondary: true}},
-		{"delta", core.DefaultNaive(core.StrategyDelta)},
-		{"time-cost", core.DefaultNaive(core.StrategyTimeCost)},
+
+	if !asJSON {
+		fmt.Printf("application: %s (%d tasks, %d edges, max width %d)\n",
+			app, d.TaskCount(), d.EdgeCount(), d.MaxWidth())
+		fmt.Printf("cluster    : %s (%d procs @ %.3f GFlop/s)\n\n",
+			cl.Name(), cl.Procs(), cl.SpeedGFlops())
+	}
+
+	variants := []struct {
+		name     string
+		strategy rats.Strategy
+	}{
+		{"hcpa", rats.Baseline},
+		{"delta", rats.Delta},
+		{"time-cost", rats.TimeCost},
 	}
 	var base float64
+	enc := json.NewEncoder(os.Stdout)
 	for _, v := range variants {
-		if algoFilter != "" && v.name != algoFilter {
+		if algoFilter != "" && v.strategy != only {
 			continue
 		}
-		sched := core.Map(g, costs, cl, allocation, v.opts)
-		res, err := simdag.Execute(g, costs, cl, sched)
+		s := rats.New(rats.WithCluster(cl), rats.WithStrategy(v.strategy))
+		res, err := s.Schedule(d)
 		if err != nil {
-			return fmt.Errorf("%s: %w", v.name, err)
+			return err
 		}
-		rel := ""
-		if v.name == "hcpa" {
-			base = res.Makespan
-		} else if base > 0 {
-			rel = fmt.Sprintf("  (%.3f of HCPA)", res.Makespan/base)
-		}
-		fmt.Printf("%-10s makespan %8.3f s%s\n", v.name, res.Makespan, rel)
-		fmt.Printf("%-10s estimate %8.3f s, work %.1f proc·s, wire %.3g MB in %d flows\n",
-			"", sched.EstMakespan(), sched.TotalWork, res.RemoteBytes/1e6, res.FlowCount)
-		fmt.Printf("%-10s %s\n", "", trace.Compute(g, sched, res))
-		if gantt {
-			fmt.Println(simdag.Gantt(g, sched, res, 100))
+		if asJSON {
+			if err := enc.Encode(res); err != nil {
+				return err
+			}
+		} else {
+			rel := ""
+			if v.strategy == rats.Baseline {
+				base = res.Makespan
+			} else if base > 0 {
+				rel = fmt.Sprintf("  (%.3f of HCPA)", res.Makespan/base)
+			}
+			fmt.Printf("%-10s makespan %8.3f s%s\n", v.name, res.Makespan, rel)
+			fmt.Printf("%-10s estimate %8.3f s, work %.1f proc·s, wire %.3g MB in %d flows\n",
+				"", res.Estimate, res.TotalWork, res.RemoteBytes/1e6, res.FlowCount)
+			fmt.Printf("%-10s %s\n", "", res.Stats())
+			if gantt {
+				fmt.Println(res.Gantt(100))
+			}
 		}
 		if traceOut != "" {
 			path := fmt.Sprintf("%s-%s.json", traceOut, v.name)
@@ -120,16 +134,20 @@ func run(app string, n, k int, width, density, regularity float64, jump int, see
 			if err != nil {
 				return err
 			}
-			if err := trace.ChromeTrace(f, g, sched, res); err != nil {
+			if err := res.ChromeTrace(f); err != nil {
 				f.Close()
 				return err
 			}
 			if err := f.Close(); err != nil {
 				return err
 			}
-			fmt.Printf("%-10s trace written to %s\n", "", path)
+			if !asJSON {
+				fmt.Printf("%-10s trace written to %s\n", "", path)
+			}
 		}
-		fmt.Println()
+		if !asJSON {
+			fmt.Println()
+		}
 	}
 	return nil
 }

@@ -1,13 +1,13 @@
-// Contention: a minimal demonstration of the network substrate — the
-// bounded multi-port model with max-min fair bandwidth sharing that makes
+// Contention: a demonstration of the network substrate — the bounded
+// multi-port model with max-min fair bandwidth sharing that makes
 // redistribution timing non-trivial (§II-B, §IV-A).
 //
-// One producer fans its dataset out to a growing number of consumers. All
-// flows leave through the producer's single gigabit link, so per-flow
-// bandwidth shrinks as the fan-out grows while aggregate throughput stays
-// pinned at link capacity; the schedulers' contention-free estimates
-// cannot see this, which is exactly the gap RATS exploits by removing
-// redistributions entirely.
+// One producer fans a 100 MB dataset out to a growing number of consumers
+// (a star DAG, each edge carrying an equal share). All flows leave through
+// the producer's single gigabit link, so per-flow bandwidth shrinks as the
+// fan-out grows while aggregate throughput stays pinned at link capacity.
+// The scheduler's contention-free estimate cannot see this — which is
+// exactly the gap RATS exploits by removing redistributions entirely.
 //
 // Run with: go run ./examples/contention
 package main
@@ -15,36 +15,37 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/platform"
-	"repro/internal/redist"
-	"repro/internal/sim"
+	"repro/rats"
 )
 
 func main() {
-	cl := platform.Grillon()
+	cl := rats.Grillon()
 	const bytes = 100e6 // one 100 MB dataset
 
-	fmt.Println("one producer (proc 0) redistributes 100 MB to k consumers")
-	fmt.Printf("link: %.0f MB/s, %v latency\n\n", cl.LinkBandwidth/1e6, 100e-6)
+	fmt.Println("one producer redistributes 100 MB to k single-processor consumers")
+	fmt.Printf("link: %.0f MB/s, %v latency\n\n", cl.LinkBandwidth()/1e6, cl.LinkLatency())
 	fmt.Printf("%4s %14s %14s %16s\n", "k", "last flow (s)", "ideal solo (s)", "slowdown vs solo")
 
 	for _, k := range []int{1, 2, 4, 8, 16} {
-		eng := sim.New(cl.LinkCapacities())
-		receivers := make([]int, k)
-		for i := range receivers {
-			receivers[i] = i + 1
+		d := rats.NewDAG().
+			Task("src", rats.TaskSpec{Elements: bytes, OpsFactor: 64, Alpha: 0})
+		ones := []int{1}
+		for i := 0; i < k; i++ {
+			name := fmt.Sprintf("c%d", i)
+			// Each consumer receives an equal block of the dataset.
+			d.Task(name, rats.TaskSpec{Elements: 4e6, OpsFactor: 64, Alpha: 0}).
+				EdgeBytes("src", name, bytes/float64(k))
+			ones = append(ones, 1)
 		}
-		var last float64
-		for _, f := range redist.Flows(bytes, []int{0}, receivers) {
-			links, lat := cl.Route(f.SrcProc, f.DstProc)
-			eng.StartFlow(links, cl.EffectiveBandwidth(f.SrcProc, f.DstProc), lat, f.Bytes, func() {
-				if t := eng.Now(); t > last {
-					last = t
-				}
-			})
+		s := rats.New(rats.WithCluster(cl), rats.WithFixedAllocation(ones...))
+		res, err := s.Schedule(d)
+		if err != nil {
+			panic(err)
 		}
-		eng.Run()
-		solo := 100e-6*2 + (bytes/float64(k))/cl.LinkBandwidth
+		// Every consumer edge starts when the producer finishes; the
+		// largest redistribution exposure is the last flow's completion.
+		last := res.Stats().CriticalWait
+		solo := 2*cl.LinkLatency() + (bytes/float64(k))/cl.LinkBandwidth()
 		fmt.Printf("%4d %14.4f %14.4f %15.1fx\n", k, last, solo, last/solo)
 	}
 

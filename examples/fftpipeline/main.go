@@ -13,46 +13,36 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/alloc"
-	"repro/internal/core"
-	"repro/internal/gen"
-	"repro/internal/moldable"
-	"repro/internal/platform"
-	"repro/internal/simdag"
+	"repro/rats"
 )
 
 func main() {
-	cl := platform.Grelon()
-	fmt.Printf("cluster %s: %d processors in %d cabinets\n\n", cl.Name, cl.P, cl.Cabinets())
+	cl := rats.Grelon()
+	fmt.Printf("cluster %s: %d processors in %d cabinets\n\n", cl.Name(), cl.Procs(), cl.Cabinets())
 	fmt.Printf("%4s %6s | %10s | %10s %8s | %10s %8s\n",
 		"k", "tasks", "HCPA (s)", "delta (s)", "ratio", "t-cost (s)", "ratio")
 
-	for _, k := range []int{2, 4, 8, 16} {
-		g := gen.FFT(k, 42)
-		costs := moldable.NewCosts(g, cl.SpeedGFlops)
-		allocation := alloc.Compute(g, costs, cl, alloc.DefaultOptions())
+	baseline := rats.New(rats.WithCluster(cl))
+	// Tuned-style delta parameters for FFT (Table IV direction).
+	delta := rats.New(rats.WithCluster(cl), rats.WithStrategy(rats.Delta),
+		rats.WithDeltaBounds(-0.5, 1))
+	timeCost := rats.New(rats.WithCluster(cl), rats.WithStrategy(rats.TimeCost),
+		rats.WithMinRho(0.4))
 
-		makespan := func(opts core.Options) float64 {
-			sched := core.Map(g, costs, cl, allocation, opts)
-			res, err := simdag.Execute(g, costs, cl, sched)
+	for _, k := range []int{2, 4, 8, 16} {
+		fft := rats.FFT(k, 42) // finalized on first schedule, reused read-only
+		makespan := func(s *rats.Scheduler) float64 {
+			res, err := s.Schedule(fft)
 			if err != nil {
 				panic(err)
 			}
 			return res.Makespan
 		}
-		base := makespan(core.Options{Strategy: core.StrategyNone, SortSecondary: true})
-
-		// Tuned-style delta parameters for FFT (Table IV direction).
-		dOpts := core.DefaultNaive(core.StrategyDelta)
-		dOpts.MinDelta, dOpts.MaxDelta = -0.5, 1
-		d := makespan(dOpts)
-
-		tOpts := core.DefaultNaive(core.StrategyTimeCost)
-		tOpts.MinRho = 0.4
-		tc := makespan(tOpts)
-
+		base := makespan(baseline)
+		d := makespan(delta)
+		tc := makespan(timeCost)
 		fmt.Printf("%4d %6d | %10.3f | %10.3f %8.3f | %10.3f %8.3f\n",
-			k, g.RealTaskCount(), base, d, d/base, tc, tc/base)
+			k, fft.TaskCount(), base, d, d/base, tc, tc/base)
 	}
 	fmt.Println("\nratios < 1 mean RATS shortened the schedule relative to HCPA.")
 }

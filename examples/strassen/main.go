@@ -10,57 +10,38 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/alloc"
-	"repro/internal/core"
-	"repro/internal/gen"
-	"repro/internal/moldable"
-	"repro/internal/platform"
-	"repro/internal/simdag"
+	"repro/rats"
 )
 
 func main() {
-	cl := platform.Chti()
-	g := gen.Strassen(7)
-	costs := moldable.NewCosts(g, cl.SpeedGFlops)
-	allocation := alloc.Compute(g, costs, cl, alloc.DefaultOptions())
-
+	cl := rats.Chti()
+	d := rats.Strassen(7) // finalized on first schedule, reused read-only
 	fmt.Printf("Strassen C = A·B task graph: %d tasks on %s (%d procs)\n\n",
-		g.RealTaskCount(), cl.Name, cl.P)
+		d.TaskCount(), cl.Name(), cl.Procs())
 
 	for _, variant := range []struct {
-		name string
-		opts core.Options
+		name     string
+		strategy rats.Strategy
 	}{
-		{"HCPA", core.Options{Strategy: core.StrategyNone, SortSecondary: true}},
-		{"RATS delta", core.DefaultNaive(core.StrategyDelta)},
-		{"RATS time-cost", core.DefaultNaive(core.StrategyTimeCost)},
+		{"HCPA", rats.Baseline},
+		{"RATS delta", rats.Delta},
+		{"RATS time-cost", rats.TimeCost},
 	} {
-		sched := core.Map(g, costs, cl, allocation, variant.opts)
-		res, err := simdag.Execute(g, costs, cl, sched)
+		s := rats.New(rats.WithCluster(cl), rats.WithStrategy(variant.strategy))
+		res, err := s.Schedule(d)
 		if err != nil {
 			panic(err)
 		}
-		// Count the redistributions that became free (identity).
-		freeEdges, paidEdges := 0, 0
-		for _, e := range g.Edges {
-			if g.Tasks[e.From].Virtual || g.Tasks[e.To].Virtual {
-				continue
-			}
-			if res.EdgeFinish[e.ID] <= res.Finish[e.From]+1e-12 {
-				freeEdges++
-			} else {
-				paidEdges++
-			}
-		}
+		st := res.Stats()
 		fmt.Printf("%-15s makespan %7.3f s  work %7.1f proc·s  free redistributions %d/%d\n",
-			variant.name, res.Makespan, sched.TotalWork, freeEdges, freeEdges+paidEdges)
+			variant.name, res.Makespan, res.TotalWork, st.FreeEdges, st.FreeEdges+st.PaidEdges)
 	}
 
 	fmt.Println("\nGantt of the time-cost schedule:")
-	sched := core.Map(g, costs, cl, allocation, core.DefaultNaive(core.StrategyTimeCost))
-	res, err := simdag.Execute(g, costs, cl, sched)
+	res, err := rats.New(rats.WithCluster(cl), rats.WithStrategy(rats.TimeCost)).
+		Schedule(d)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Print(simdag.Gantt(g, sched, res, 90))
+	fmt.Print(res.Gantt(90))
 }

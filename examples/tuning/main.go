@@ -3,36 +3,106 @@
 // without packing) for the time-cost strategy on irregular workflows, then
 // report the tuned triple as Table IV does.
 //
-// Run with: go run ./examples/tuning   (takes a minute or two)
+// Each sweep point schedules the whole workload batch concurrently through
+// Scheduler.ScheduleAll, the package's scale-oriented entry point.
+//
+// Run with: go run ./examples/tuning
 package main
 
 import (
+	"context"
 	"fmt"
-	"os"
+	"math"
 
-	"repro/internal/exp"
-	"repro/internal/platform"
+	"repro/rats"
 )
 
-func main() {
-	cl := platform.Grillon()
-	// Every 12th irregular configuration keeps the example fast while
-	// covering the parameter space.
-	scens := exp.Subsample(exp.ScenariosOf(exp.Scenarios(), exp.Irregular), 12)
-	fmt.Printf("tuning on %d irregular workflows on %s\n\n", len(scens), cl.Name)
-
-	r := exp.NewRunner()
-	ds, rs, err := exp.RunTuningSweep(r, scens, cl, exp.Irregular)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+// workloads returns the sample of irregular workflows. The DAGs are
+// finalized by the first ScheduleAll and reused — read-only — by every
+// subsequent sweep point.
+func workloads() []*rats.DAG {
+	var dags []*rats.DAG
+	for _, n := range []int{25, 50} {
+		for seed := int64(1); seed <= 3; seed++ {
+			dags = append(dags, rats.Random(rats.RandomSpec{
+				N: n, Width: 0.5, Density: 0.2, Regularity: 0.8, Jump: 2, Seed: seed,
+			}))
+		}
 	}
-	exp.WriteDeltaSweep(os.Stdout, ds)
-	fmt.Println()
-	exp.WriteRhoSweep(os.Stdout, rs)
+	return dags
+}
 
-	minD, maxD, _ := ds.Best()
-	rho, _ := rs.Best()
+// meanRatio schedules the batch and returns the mean makespan ratio
+// against the baseline vector.
+func meanRatio(ctx context.Context, s *rats.Scheduler, dags []*rats.DAG, base []float64) float64 {
+	results, err := s.ScheduleAll(ctx, dags)
+	if err != nil {
+		panic(err)
+	}
+	sum := 0.0
+	for i, r := range results {
+		sum += r.Makespan / base[i]
+	}
+	return sum / float64(len(results))
+}
+
+func main() {
+	ctx := context.Background()
+	cl := rats.Grillon()
+	dags := workloads()
+	fmt.Printf("tuning on %d irregular workflows on %s\n\n", len(dags), cl.Name())
+
+	baseline, err := rats.New(rats.WithCluster(cl)).ScheduleAll(ctx, dags)
+	if err != nil {
+		panic(err)
+	}
+	base := make([]float64, len(baseline))
+	for i, r := range baseline {
+		base[i] = r.Makespan
+	}
+
+	// Delta sweep: every (mindelta, maxdelta) pair of the paper's grid.
+	fmt.Println("delta strategy: mean makespan ratio vs HCPA")
+	fmt.Printf("%10s |", "min\\max")
+	maxDeltas := []float64{0.25, 0.5, 0.75, 1}
+	minDeltas := []float64{-0.75, -0.5, -0.25}
+	for _, maxD := range maxDeltas {
+		fmt.Printf("%8.2f", maxD)
+	}
+	fmt.Println()
+	bestD, bestMinD, bestMaxD := math.Inf(1), 0.0, 0.0
+	for _, minD := range minDeltas {
+		fmt.Printf("%10.2f |", minD)
+		for _, maxD := range maxDeltas {
+			s := rats.New(rats.WithCluster(cl), rats.WithStrategy(rats.Delta),
+				rats.WithDeltaBounds(minD, maxD))
+			r := meanRatio(ctx, s, dags, base)
+			if r < bestD {
+				bestD, bestMinD, bestMaxD = r, minD, maxD
+			}
+			fmt.Printf("%8.3f", r)
+		}
+		fmt.Println()
+	}
+
+	// Rho sweep: minrho with and without packing.
+	fmt.Println("\ntime-cost strategy: mean makespan ratio vs HCPA")
+	fmt.Printf("%10s |%8s %8s\n", "minrho", "pack", "no-pack")
+	bestR, bestRho := math.Inf(1), 0.0
+	for _, rho := range []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		fmt.Printf("%10.1f |", rho)
+		for _, packing := range []bool{true, false} {
+			s := rats.New(rats.WithCluster(cl), rats.WithStrategy(rats.TimeCost),
+				rats.WithMinRho(rho), rats.WithPacking(packing))
+			r := meanRatio(ctx, s, dags, base)
+			if packing && r < bestR {
+				bestR, bestRho = r, rho
+			}
+			fmt.Printf("%8.3f", r)
+		}
+		fmt.Println()
+	}
+
 	fmt.Printf("\nTable IV-style tuned triple for (irregular, %s): (%g, %g, %g)\n",
-		cl.Name, minD, maxD, rho)
+		cl.Name(), bestMinD, bestMaxD, bestRho)
 }

@@ -22,6 +22,8 @@
 package alloc
 
 import (
+	"fmt"
+
 	"repro/internal/dag"
 	"repro/internal/moldable"
 	"repro/internal/platform"
@@ -36,7 +38,8 @@ const (
 	MCPA
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. Out-of-range values render as
+// "Method(n)", matching core.Strategy's behaviour for invalid enums.
 func (m Method) String() string {
 	switch m {
 	case CPA:
@@ -46,7 +49,7 @@ func (m Method) String() string {
 	case MCPA:
 		return "mcpa"
 	}
-	return "unknown"
+	return fmt.Sprintf("Method(%d)", int(m))
 }
 
 // Options parameterizes Compute.

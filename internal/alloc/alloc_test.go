@@ -182,8 +182,8 @@ func TestMethodString(t *testing.T) {
 	if CPA.String() != "cpa" || HCPA.String() != "hcpa" || MCPA.String() != "mcpa" {
 		t.Error("Method.String mismatch")
 	}
-	if Method(99).String() != "unknown" {
-		t.Error("unknown method should stringify to 'unknown'")
+	if Method(99).String() != "Method(99)" {
+		t.Error("out-of-range method should stringify to 'Method(99)'")
 	}
 }
 

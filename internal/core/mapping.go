@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -25,7 +26,10 @@ const (
 	StrategyTimeCost
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. Values outside the defined set render as
+// "Strategy(n)" — the Go convention for out-of-range enums — so that logs
+// and error messages stay unambiguous if strategies are ever added or a raw
+// integer is cast incorrectly.
 func (s Strategy) String() string {
 	switch s {
 	case StrategyNone:
@@ -35,7 +39,7 @@ func (s Strategy) String() string {
 	case StrategyTimeCost:
 		return "time-cost"
 	}
-	return "unknown"
+	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
 // Options parameterizes the mapping procedures. The zero value is the

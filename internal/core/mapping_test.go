@@ -286,7 +286,7 @@ func TestSecondarySortTimeCost(t *testing.T) {
 
 func TestStrategyString(t *testing.T) {
 	if StrategyNone.String() != "hcpa" || StrategyDelta.String() != "delta" ||
-		StrategyTimeCost.String() != "time-cost" || Strategy(9).String() != "unknown" {
+		StrategyTimeCost.String() != "time-cost" || Strategy(9).String() != "Strategy(9)" {
 		t.Error("Strategy.String mismatch")
 	}
 }

@@ -1,0 +1,118 @@
+package rats
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// Cluster is an immutable description of a homogeneous commodity cluster
+// (§II-B of the paper): P identical single-core nodes with private
+// full-duplex gigabit links, optionally grouped into cabinets behind a
+// hierarchical switch. Clusters are safe for concurrent use.
+type Cluster struct {
+	pc *platform.Cluster
+}
+
+// Chti returns the paper's chti cluster (Lille): 20 nodes at 4.311
+// GFlop/s behind a single gigabit switch.
+func Chti() *Cluster { return &Cluster{pc: platform.Chti()} }
+
+// Grillon returns the paper's grillon cluster (Nancy): 47 nodes at 3.379
+// GFlop/s behind a single gigabit switch.
+func Grillon() *Cluster { return &Cluster{pc: platform.Grillon()} }
+
+// Grelon returns the paper's grelon cluster (Nancy): 120 nodes at 3.185
+// GFlop/s in five 24-node cabinets behind a hierarchical switch.
+func Grelon() *Cluster { return &Cluster{pc: platform.Grelon()} }
+
+// ClusterByName returns the preset cluster with the given name ("chti",
+// "grillon" or "grelon").
+func ClusterByName(name string) (*Cluster, error) {
+	pc, err := platform.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{pc: pc}, nil
+}
+
+// ClusterSpec describes a custom cluster. Zero-valued link fields default
+// to the paper's gigabit-Ethernet figures; a zero WMax defaults to the 4
+// MiB TCP window used throughout the reproduction.
+type ClusterSpec struct {
+	Name        string
+	Procs       int     // number of single-core nodes
+	SpeedGFlops float64 // per-node compute speed
+
+	LinkLatency   float64 // private link latency, seconds
+	LinkBandwidth float64 // private link bandwidth, bytes/second
+
+	// CabinetSize > 0 selects the hierarchical topology: nodes are grouped
+	// into cabinets of this size, connected by uplinks to a top switch.
+	CabinetSize     int
+	UplinkLatency   float64
+	UplinkBandwidth float64
+
+	WMax float64 // TCP window bound for the empirical per-flow bandwidth
+}
+
+// NewCluster builds and validates a custom cluster.
+func NewCluster(spec ClusterSpec) (*Cluster, error) {
+	pc := &platform.Cluster{
+		Name:            spec.Name,
+		P:               spec.Procs,
+		SpeedGFlops:     spec.SpeedGFlops,
+		LinkLatency:     spec.LinkLatency,
+		LinkBandwidth:   spec.LinkBandwidth,
+		CabinetSize:     spec.CabinetSize,
+		UplinkLatency:   spec.UplinkLatency,
+		UplinkBandwidth: spec.UplinkBandwidth,
+		WMax:            spec.WMax,
+	}
+	if pc.Name == "" {
+		pc.Name = fmt.Sprintf("custom-%d", spec.Procs)
+	}
+	if pc.LinkBandwidth == 0 {
+		pc.LinkBandwidth = platform.GigabitBandwidth
+	}
+	if pc.LinkLatency == 0 {
+		pc.LinkLatency = platform.GigabitLatency
+	}
+	if pc.CabinetSize > 0 {
+		if pc.UplinkBandwidth == 0 {
+			pc.UplinkBandwidth = 10 * platform.GigabitBandwidth
+		}
+		if pc.UplinkLatency == 0 {
+			pc.UplinkLatency = platform.GigabitLatency
+		}
+	}
+	if pc.WMax == 0 {
+		pc.WMax = platform.DefaultWMax
+	}
+	if err := pc.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cluster{pc: pc}, nil
+}
+
+// Name returns the cluster name.
+func (c *Cluster) Name() string { return c.pc.Name }
+
+// Procs returns the number of processors (nodes).
+func (c *Cluster) Procs() int { return c.pc.P }
+
+// SpeedGFlops returns the per-node compute speed in GFlop/s.
+func (c *Cluster) SpeedGFlops() float64 { return c.pc.SpeedGFlops }
+
+// Hierarchical reports whether the cluster uses the cabinet topology.
+func (c *Cluster) Hierarchical() bool { return c.pc.Hierarchical() }
+
+// Cabinets returns the number of cabinets (1 for flat clusters).
+func (c *Cluster) Cabinets() int { return c.pc.Cabinets() }
+
+// LinkBandwidth returns the private per-node link bandwidth in
+// bytes/second.
+func (c *Cluster) LinkBandwidth() float64 { return c.pc.LinkBandwidth }
+
+// LinkLatency returns the private per-node link latency in seconds.
+func (c *Cluster) LinkLatency() float64 { return c.pc.LinkLatency }

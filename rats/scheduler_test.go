@@ -1,0 +1,171 @@
+package rats
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// batch returns a 10-DAG mixed workload: FFTs, Strassens and random
+// irregular graphs.
+func batch() []*DAG {
+	var dags []*DAG
+	for _, k := range []int{2, 4, 8} {
+		dags = append(dags, FFT(k, 42))
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		dags = append(dags, Strassen(seed))
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		dags = append(dags, Random(RandomSpec{
+			N: 30, Width: 0.5, Density: 0.2, Regularity: 0.8, Jump: 2, Seed: seed,
+		}))
+	}
+	return dags
+}
+
+// TestScheduleAllMatchesSerial schedules ≥ 8 DAGs concurrently and checks
+// every result equals the one produced by a serial Schedule of the same
+// workload — placement for placement. Run with -race, this is the
+// package's concurrency-contract check.
+func TestScheduleAllMatchesSerial(t *testing.T) {
+	s := New(WithStrategy(Delta))
+	dags := batch()
+	if len(dags) < 8 {
+		t.Fatalf("batch has %d DAGs, want ≥ 8", len(dags))
+	}
+	results, err := s.ScheduleAll(context.Background(), dags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(dags) {
+		t.Fatalf("%d results for %d DAGs", len(results), len(dags))
+	}
+	serial := New(WithStrategy(Delta))
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("result %d is nil", i)
+		}
+		want, err := serial.Schedule(dags[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan != want.Makespan || res.RemoteBytes != want.RemoteBytes {
+			t.Errorf("dag %d (%s): concurrent (%g s, %g B) != serial (%g s, %g B)",
+				i, dags[i].Name, res.Makespan, res.RemoteBytes, want.Makespan, want.RemoteBytes)
+		}
+		for j := range res.Placements {
+			if res.Placements[j].Start != want.Placements[j].Start ||
+				len(res.Placements[j].Procs) != len(want.Placements[j].Procs) {
+				t.Errorf("dag %d placement %d differs between concurrent and serial run", i, j)
+			}
+		}
+	}
+}
+
+// TestScheduleAllSharedDAG passes the same finalized *DAG several times in
+// one batch: the read-only concurrent phase must tolerate aliasing.
+func TestScheduleAllSharedDAG(t *testing.T) {
+	d := FFT(8, 42)
+	dags := []*DAG{d, d, d, d, d, d, d, d}
+	results, err := New(WithStrategy(TimeCost), WithWorkers(4)).
+		ScheduleAll(context.Background(), dags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res == nil || res.Makespan != results[0].Makespan {
+			t.Fatalf("aliased batch diverged at %d: %+v", i, res)
+		}
+	}
+}
+
+// TestScheduleAllConcurrentSchedulers runs several ScheduleAll calls on
+// one Scheduler at once — the Scheduler itself must be share-safe.
+func TestScheduleAllConcurrentSchedulers(t *testing.T) {
+	s := New(WithStrategy(Delta), WithWorkers(2))
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.ScheduleAll(context.Background(), batch())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("concurrent ScheduleAll %d: %v", i, err)
+		}
+	}
+}
+
+func TestScheduleAllEmpty(t *testing.T) {
+	results, err := New().ScheduleAll(context.Background(), nil)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty batch: %v, %v", results, err)
+	}
+}
+
+func TestScheduleAllNilAndInvalidDAGs(t *testing.T) {
+	if _, err := New().ScheduleAll(context.Background(), []*DAG{nil}); err == nil {
+		t.Error("nil DAG accepted")
+	}
+	bad := NewDAG() // empty: fails finalization
+	if _, err := New().ScheduleAll(context.Background(), []*DAG{FFT(2, 1), bad}); err == nil {
+		t.Error("invalid DAG accepted")
+	}
+}
+
+func TestScheduleAllCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := New().ScheduleAll(ctx, batch())
+	if err == nil {
+		t.Fatal("canceled context did not surface an error")
+	}
+	if !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("error %q does not mention cancellation", err)
+	}
+}
+
+// TestScheduleAllRunError provokes a per-DAG pipeline failure (fixed
+// allocation sized for a 3-task chain, applied to a 25-task Strassen) and
+// checks partial results plus a joined error.
+func TestScheduleAllRunError(t *testing.T) {
+	s := New(WithFixedAllocation(8, 10, 9), WithWorkers(1))
+	chain := NewDAG()
+	for _, name := range []string{"T1", "T2", "T3"} {
+		chain.Task(name, TaskSpec{Elements: 40e6, OpsFactor: 200, Alpha: 0.05})
+	}
+	chain.Edge("T1", "T2").Edge("T2", "T3")
+
+	results, err := s.ScheduleAll(context.Background(), []*DAG{chain, Strassen(1)})
+	if err == nil {
+		t.Fatal("mismatched fixed allocation did not fail")
+	}
+	if results[0] == nil {
+		t.Error("the valid DAG (scheduled first, single worker) has no result")
+	}
+	if results[1] != nil {
+		t.Error("the failing DAG produced a result")
+	}
+	if !strings.Contains(err.Error(), "fixed allocation") {
+		t.Errorf("error %q does not name the cause", err)
+	}
+}
+
+func TestSchedulerAccessors(t *testing.T) {
+	s := New(WithStrategy(TimeCost), WithAllocator(MCPA), WithCluster(Chti()))
+	if s.Strategy() != TimeCost || s.Allocator() != MCPA || s.Cluster().Name() != "chti" {
+		t.Fatalf("accessors: %v, %v, %v", s.Strategy(), s.Allocator(), s.Cluster().Name())
+	}
+}
+
+func TestScheduleNilDAG(t *testing.T) {
+	if _, err := New().Schedule(nil); err == nil {
+		t.Fatal("Schedule(nil) succeeded")
+	}
+}
