@@ -7,10 +7,15 @@ package repro
 // so `go test -bench=. -benchmem` doubles as an end-to-end smoke test.
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/internal/alloc"
+	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/gen"
 	"repro/internal/metrics"
+	"repro/internal/moldable"
 	"repro/internal/platform"
 	"repro/internal/redist"
 )
@@ -245,6 +250,86 @@ func BenchmarkTableVI_Degradation(b *testing.B) {
 			if d.AvgOverAll < 0 {
 				b.Fatal("negative degradation")
 			}
+		}
+	}
+}
+
+// --- Hot-path benches (mapping & estimation at production scale) --------
+
+// hotPathClusters are the cluster-size sweep of the hot-path benches: the
+// paper's largest machine plus the two synthetic production-scale presets.
+func hotPathClusters() []*platform.Cluster {
+	return []*platform.Cluster{platform.Grelon(), platform.Big512(), platform.Big1024()}
+}
+
+// BenchmarkRedistTime measures one contention-free redistribution estimate
+// — the innermost operation of every candidate placement evaluation — for
+// overlapping sender/receiver sets of growing size on each cluster scale,
+// plus the zero-cost same-set fast path RATS adoption relies on.
+func BenchmarkRedistTime(b *testing.B) {
+	for _, cl := range hotPathClusters() {
+		for _, p := range []int{8, 32, 128, 512} {
+			if 2*p > cl.P {
+				continue // keep the receiver overlap partial
+			}
+			// Receivers overlap the upper half of the senders and extend
+			// past them: the general partially-overlapping case.
+			senders := make([]int, p)
+			receivers := make([]int, p)
+			for i := 0; i < p; i++ {
+				senders[i] = i
+				receivers[i] = p/2 + i
+			}
+			b.Run(fmt.Sprintf("%s/p=%d", cl.Name, p), func(b *testing.B) {
+				est := core.NewEstimator(cl)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					est.RedistTime(1e9, senders, receivers)
+				}
+			})
+		}
+		// Same set in a different rank order: the free-redistribution case
+		// every RATS snap produces.
+		const ss = 32
+		senders := make([]int, ss)
+		receivers := make([]int, ss)
+		for i := 0; i < ss; i++ {
+			senders[i] = i
+			receivers[i] = ss - 1 - i
+		}
+		b.Run(fmt.Sprintf("%s/same-set", cl.Name), func(b *testing.B) {
+			est := core.NewEstimator(cl)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if est.RedistTime(1e9, senders, receivers) != 0 {
+					b.Fatal("same-set redistribution must be free")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMap runs the full mapping phase (time-cost strategy, the most
+// estimator-intensive) over cluster size × DAG width, the two axes that
+// drive candidate-placement cost. Layered 100-task graphs keep the DAG
+// shape comparable across widths.
+func BenchmarkMap(b *testing.B) {
+	for _, cl := range hotPathClusters() {
+		for _, width := range []float64{0.2, 0.5, 0.8} {
+			g := gen.Random(gen.RandomParams{
+				N: 100, Width: width, Regularity: 0.8, Density: 0.5, Layered: true, Seed: 7})
+			costs := moldable.NewCosts(g, cl.SpeedGFlops)
+			a := alloc.Compute(g, costs, cl, alloc.DefaultOptions())
+			opts := core.DefaultNaive(core.StrategyTimeCost)
+			b.Run(fmt.Sprintf("%s/w=%.1f", cl.Name, width), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					s := core.Map(g, costs, cl, a, opts)
+					if len(s.Order) != g.N() {
+						b.Fatal("incomplete schedule")
+					}
+				}
+			})
 		}
 	}
 }

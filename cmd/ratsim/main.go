@@ -31,7 +31,7 @@ func main() {
 	regularity := flag.Float64("regularity", 0.8, "DAG regularity parameter")
 	jump := flag.Int("jump", 1, "jump edge length (irregular)")
 	seed := flag.Int64("seed", 1, "generator seed")
-	clusterName := flag.String("cluster", "grillon", "cluster: chti, grillon, grelon")
+	clusterName := flag.String("cluster", "grillon", "cluster: chti, grillon, grelon, big512, big1024")
 	gantt := flag.Bool("gantt", false, "print a Gantt chart per algorithm")
 	algoFilter := flag.String("algo", "", "run only one algorithm: hcpa, delta, time-cost")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file per algorithm (prefix)")

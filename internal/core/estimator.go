@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/binary"
+
 	"repro/internal/platform"
 	"repro/internal/redist"
 )
@@ -10,66 +12,174 @@ import (
 // deliberately ignore network contention — only the replayed simulation
 // accounts for it — and that this is one reason the time-cost strategy
 // gets more accurate as clusters grow.
+//
+// The estimator keeps reusable scratch indexed by processor ID and a
+// per-edge memo, so RedistTime is allocation-free in steady state; an
+// Estimator is therefore NOT safe for concurrent use. Every mapping run
+// creates its own (Map does this), which is what keeps batch scheduling
+// race-free.
 type Estimator struct {
 	cl *platform.Cluster
+
+	// Homogeneous per-pair figures, precomputed once: on these clusters the
+	// empirical bandwidth β' and the route latency only depend on whether
+	// the two nodes share a cabinet.
+	latIntra, latCross float64
+	bwIntra, bwCross   float64
+
+	// Scratch reused across RedistTime calls, indexed by processor ID and
+	// allocated lazily on first use. Entries are zeroed again before each
+	// call returns, so the slices never need wholesale clearing.
+	outBytes []float64 // bytes leaving each sender node
+	inBytes  []float64 // bytes entering each receiver node
+	setCnt   []int     // multiset counters for the same-set fast path
+
+	// Memo for EdgeRedistTime, keyed by (edge ID, receiver rank order);
+	// valid for one mapping run (sender sets are fixed once mapped).
+	memo   map[string]float64
+	keyBuf []byte
 }
 
 // NewEstimator returns an estimator for the given cluster.
-func NewEstimator(cl *platform.Cluster) *Estimator { return &Estimator{cl: cl} }
+func NewEstimator(cl *platform.Cluster) *Estimator {
+	e := &Estimator{cl: cl}
+	if cl.P > 1 {
+		if !cl.Hierarchical() || cl.CabinetSize > 1 {
+			// Nodes 0 and 1 share a switch (or a cabinet).
+			e.latIntra = cl.RouteLatency(0, 1)
+			e.bwIntra = cl.EffectiveBandwidth(0, 1)
+		}
+		if cl.Hierarchical() && cl.P > cl.CabinetSize {
+			// Nodes 0 and CabinetSize sit in different cabinets.
+			e.latCross = cl.RouteLatency(0, cl.CabinetSize)
+			e.bwCross = cl.EffectiveBandwidth(0, cl.CabinetSize)
+		}
+	}
+	return e
+}
+
+func (e *Estimator) ensureScratch() {
+	if e.outBytes == nil {
+		e.outBytes = make([]float64, e.cl.P)
+		e.inBytes = make([]float64, e.cl.P)
+		e.setCnt = make([]int, e.cl.P)
+	}
+}
+
+// sameSet reports whether the two processor lists hold the same multiset,
+// like redist.SameSet but using the counter scratch instead of sorting.
+func (e *Estimator) sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	cnt := e.setCnt
+	for _, x := range a {
+		cnt[x]++
+	}
+	for _, y := range b {
+		cnt[y]--
+	}
+	eq := true
+	for _, x := range a {
+		if cnt[x] != 0 {
+			eq = false
+		}
+		cnt[x] = 0
+	}
+	for _, y := range b {
+		if cnt[y] != 0 {
+			eq = false
+		}
+		cnt[y] = 0
+	}
+	return eq
+}
 
 // RedistTime estimates the duration of redistributing bytes from the
-// sender processor set to the receiver processor set (both in rank order)
-// under the bounded multi-port model without cross-redistribution
-// contention:
+// sender processor set to the receiver processor set (both in rank order,
+// each duplicate-free) under the bounded multi-port model without
+// cross-redistribution contention:
 //
 //	max over nodes of (bytes sent / β_out, bytes received / β_in)
 //	  capped below by the slowest individual flow at its empirical
 //	  bandwidth β', plus the longest route latency involved.
 //
-// Same-set same-size redistributions cost zero (§II-A).
+// Same-set same-size redistributions cost zero (§II-A). The banded block
+// matrix is traversed directly (redist.VisitBlocks); nothing is allocated.
 func (e *Estimator) RedistTime(bytes float64, senders, receivers []int) float64 {
 	if bytes <= 0 || len(senders) == 0 || len(receivers) == 0 {
 		return 0
 	}
-	if len(senders) == len(receivers) && redist.SameSet(senders, receivers) {
+	e.ensureScratch()
+	if e.sameSet(senders, receivers) {
 		return 0
 	}
-	flows := redist.Flows(bytes, senders, receivers)
-	out := make(map[int]float64)
-	in := make(map[int]float64)
+	out, in := e.outBytes, e.inBytes
+	hier := e.cl.Hierarchical()
+	cabSize := e.cl.CabinetSize
 	t := 0.0
 	maxLat := 0.0
-	for _, f := range flows {
-		if f.SrcProc == f.DstProc {
-			continue // local copies are free
+	redist.VisitBlocks(bytes, len(senders), len(receivers), func(i, j int, v float64) {
+		src, dst := senders[i], receivers[j]
+		if src == dst {
+			return // local copies are free
 		}
-		out[f.SrcProc] += f.Bytes
-		in[f.DstProc] += f.Bytes
+		out[src] += v
+		in[dst] += v
+		bw, lat := e.bwIntra, e.latIntra
+		if hier && src/cabSize != dst/cabSize {
+			bw, lat = e.bwCross, e.latCross
+		}
 		// An individual flow cannot beat its empirical bandwidth.
-		if bw := e.cl.EffectiveBandwidth(f.SrcProc, f.DstProc); bw > 0 {
-			if ft := f.Bytes / bw; ft > t {
+		if bw > 0 {
+			if ft := v / bw; ft > t {
 				t = ft
 			}
 		}
-		if _, lat := e.cl.Route(f.SrcProc, f.DstProc); lat > maxLat {
+		if lat > maxLat {
 			maxLat = lat
 		}
-	}
+	})
 	beta := e.cl.LinkBandwidth
-	for _, b := range out {
-		if v := b / beta; v > t {
+	for _, s := range senders {
+		if v := out[s] / beta; v > t {
 			t = v
 		}
+		out[s] = 0
 	}
-	for _, b := range in {
-		if v := b / beta; v > t {
+	for _, r := range receivers {
+		if v := in[r] / beta; v > t {
 			t = v
 		}
+		in[r] = 0
 	}
 	if t == 0 {
 		return 0 // everything was local after all
 	}
 	return t + maxLat
+}
+
+// EdgeRedistTime is RedistTime memoized by (edge, receiver rank order).
+// Within one mapping run an edge's sender set is fixed once its source
+// task is mapped, so the pair fully determines the estimate; candidate
+// placements that revisit a receiver set (baseline re-evaluations, the
+// delta EFT guard, time-cost packing) hit the memo instead of re-walking
+// the block matrix. Do not reuse one Estimator across mapping runs.
+func (e *Estimator) EdgeRedistTime(edge int, bytes float64, senders, receivers []int) float64 {
+	if e.memo == nil {
+		e.memo = make(map[string]float64)
+	}
+	key := binary.AppendUvarint(e.keyBuf[:0], uint64(edge))
+	for _, r := range receivers {
+		key = binary.AppendUvarint(key, uint64(r))
+	}
+	e.keyBuf = key
+	if v, ok := e.memo[string(key)]; ok {
+		return v
+	}
+	v := e.RedistTime(bytes, senders, receivers)
+	e.memo[string(key)] = v
+	return v
 }
 
 // EdgeTimeSimple is the coarse per-edge communication estimate used inside

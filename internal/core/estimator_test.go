@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/redist"
+)
+
+// oracleRedistTime is the pre-overhaul RedistTime implementation, kept
+// verbatim as a test oracle: expand the block matrix to []Flow, accumulate
+// per-node in/out volumes in maps, cap below by the slowest flow at its
+// empirical bandwidth, add the longest route latency.
+func oracleRedistTime(cl *platform.Cluster, bytes float64, senders, receivers []int) float64 {
+	if bytes <= 0 || len(senders) == 0 || len(receivers) == 0 {
+		return 0
+	}
+	if len(senders) == len(receivers) && redist.SameSet(senders, receivers) {
+		return 0
+	}
+	flows := redist.Flows(bytes, senders, receivers)
+	out := make(map[int]float64)
+	in := make(map[int]float64)
+	t := 0.0
+	maxLat := 0.0
+	for _, f := range flows {
+		if f.SrcProc == f.DstProc {
+			continue // local copies are free
+		}
+		out[f.SrcProc] += f.Bytes
+		in[f.DstProc] += f.Bytes
+		if bw := cl.EffectiveBandwidth(f.SrcProc, f.DstProc); bw > 0 {
+			if ft := f.Bytes / bw; ft > t {
+				t = ft
+			}
+		}
+		if _, lat := cl.Route(f.SrcProc, f.DstProc); lat > maxLat {
+			maxLat = lat
+		}
+	}
+	beta := cl.LinkBandwidth
+	for _, b := range out {
+		if v := b / beta; v > t {
+			t = v
+		}
+	}
+	for _, b := range in {
+		if v := b / beta; v > t {
+			t = v
+		}
+	}
+	if t == 0 {
+		return 0
+	}
+	return t + maxLat
+}
+
+// randomProcSet draws n distinct processors of cl in random rank order.
+func randomProcSet(rng *rand.Rand, cl *platform.Cluster, n int) []int {
+	perm := rng.Perm(cl.P)
+	return perm[:n]
+}
+
+// TestRedistTimeMatchesOracle is the equivalence property of the hot-path
+// overhaul: the allocation-free slice/banded-matrix implementation must
+// agree exactly with the historical map/flows implementation on random
+// sender/receiver sets, on flat and hierarchical clusters alike.
+func TestRedistTimeMatchesOracle(t *testing.T) {
+	clusters := []*platform.Cluster{
+		platform.Chti(),    // flat, small
+		platform.Grillon(), // flat
+		platform.Grelon(),  // hierarchical, 24-node cabinets
+		platform.Big512(),  // hierarchical, 32-node cabinets
+	}
+	for _, cl := range clusters {
+		cl := cl
+		t.Run(cl.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(cl.P)))
+			est := NewEstimator(cl)
+			for iter := 0; iter < 400; iter++ {
+				p := 1 + rng.Intn(cl.P)
+				q := 1 + rng.Intn(cl.P)
+				senders := randomProcSet(rng, cl, p)
+				var receivers []int
+				switch iter % 4 {
+				case 0: // independent draw: overlap by chance
+					receivers = randomProcSet(rng, cl, q)
+				case 1: // same set, permuted rank order: must be free
+					receivers = append([]int(nil), senders...)
+					rng.Shuffle(len(receivers), func(i, j int) {
+						receivers[i], receivers[j] = receivers[j], receivers[i]
+					})
+				case 2: // disjoint within the first min(P, p+q) processors
+					all := rng.Perm(cl.P)
+					senders = all[:p]
+					if p+q > cl.P {
+						q = cl.P - p
+						if q == 0 {
+							q = 1
+							senders = all[:p-1]
+						}
+					}
+					receivers = all[len(senders) : len(senders)+q]
+				case 3: // heavy overlap: receivers are a prefix rotation
+					receivers = append([]int(nil), senders...)
+					if len(receivers) > 1 {
+						r := receivers[0]
+						copy(receivers, receivers[1:])
+						receivers[len(receivers)-1] = r
+					}
+				}
+				bytes := rng.Float64() * 2e9
+				if iter%37 == 0 {
+					bytes = 0 // zero-volume edges are free
+				}
+				want := oracleRedistTime(cl, bytes, senders, receivers)
+				got := est.RedistTime(bytes, senders, receivers)
+				if got != want && !(math.Abs(got-want) <= 1e-12*math.Max(got, want)) {
+					t.Fatalf("iter %d: RedistTime(%g, %v, %v) = %g, oracle %g",
+						iter, bytes, senders, receivers, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestEdgeRedistTimeMemo checks the per-edge memo: repeated evaluations of
+// the same (edge, receiver order) return the identical estimate, and
+// different edges or receiver orders do not collide.
+func TestEdgeRedistTimeMemo(t *testing.T) {
+	cl := platform.Grelon()
+	est := NewEstimator(cl)
+	senders := []int{0, 1, 2, 3}
+	recvA := []int{2, 3, 4, 5}
+	recvB := []int{5, 4, 3, 2} // same set, different rank order
+	a1 := est.EdgeRedistTime(7, 1e9, senders, recvA)
+	b1 := est.EdgeRedistTime(7, 1e9, senders, recvB)
+	a2 := est.EdgeRedistTime(7, 1e9, senders, recvA)
+	if a1 != a2 {
+		t.Errorf("memoized estimate changed: %g vs %g", a1, a2)
+	}
+	if a1 != est.RedistTime(1e9, senders, recvA) {
+		t.Errorf("memo diverges from direct estimate")
+	}
+	if b1 != est.RedistTime(1e9, senders, recvB) {
+		t.Errorf("memo collided across receiver orders: %g", b1)
+	}
+	// Different edge, same receivers: distinct key, same value.
+	if got := est.EdgeRedistTime(8, 1e9, senders, recvA); got != a1 {
+		t.Errorf("edge 8 estimate %g, want %g", got, a1)
+	}
+}

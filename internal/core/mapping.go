@@ -143,6 +143,15 @@ type mapper struct {
 	order  []int
 	bl     []float64 // static bottom-level priorities
 
+	// byAvail holds all processor IDs sorted by (availability, ID). A
+	// commit only changes the availability of the ≤k processors the task
+	// occupies, so the order is repaired incrementally (reorderAvail)
+	// instead of re-sorted from scratch on every candidate evaluation.
+	byAvail      []int
+	availKept    []int  // reorderAvail scratch: untouched entries
+	availTouched []int  // reorderAvail scratch: committed processors
+	touchedMark  []bool // reorderAvail scratch, indexed by processor ID
+
 	// claimed[p] is set once a task has inherited predecessor p's
 	// processor set. Each parent allocation can be adopted by at most one
 	// child — the delta strategy "aims at avoiding one data redistribution
@@ -163,6 +172,13 @@ func (m *mapper) run() *Schedule {
 	m.mapped = make([]bool, n)
 	m.order = make([]int, 0, n)
 	m.claimed = make([]bool, n)
+	m.byAvail = make([]int, m.cl.P)
+	for i := range m.byAvail {
+		m.byAvail[i] = i // all availabilities are 0: sorted by ID
+	}
+	m.availKept = make([]int, 0, m.cl.P)
+	m.availTouched = make([]int, 0, m.cl.P)
+	m.touchedMark = make([]bool, m.cl.P)
 
 	// Static priorities: bottom levels over allocated execution times and
 	// contention-free edge estimates (§II-C).
@@ -393,6 +409,47 @@ func (m *mapper) commit(t int, pl placement) {
 	for _, p := range pl.procs {
 		m.avail[p] = pl.eft
 	}
+	m.reorderAvail(pl.procs, pl.eft)
+}
+
+// reorderAvail restores the (availability, ID) invariant of byAvail after
+// the processors in procs had their availability set to eft. The untouched
+// entries keep their relative order, so removing the touched ones and
+// merging them back (as one equal-availability block sorted by ID) repairs
+// the order in O(P + k log k) — the full re-sort this replaces cost
+// O(P log P) on every candidate placement evaluation, not just per commit.
+func (m *mapper) reorderAvail(procs []int, eft float64) {
+	touched := append(m.availTouched[:0], procs...)
+	sort.Ints(touched)
+	m.availTouched = touched
+	for _, p := range touched {
+		m.touchedMark[p] = true
+	}
+	kept := m.availKept[:0]
+	for _, p := range m.byAvail {
+		if !m.touchedMark[p] {
+			kept = append(kept, p)
+		}
+	}
+	m.availKept = kept
+	out := m.byAvail[:0]
+	i, j := 0, 0
+	for i < len(kept) && j < len(touched) {
+		p, q := kept[i], touched[j]
+		if m.avail[p] < eft || (m.avail[p] == eft && p < q) {
+			out = append(out, p)
+			i++
+		} else {
+			out = append(out, q)
+			j++
+		}
+	}
+	out = append(out, kept[i:]...)
+	out = append(out, touched[j:]...)
+	m.byAvail = out
+	for _, p := range touched {
+		m.touchedMark[p] = false
+	}
 }
 
 // evalOn builds the placement of t on an explicit processor set.
@@ -407,7 +464,9 @@ func (m *mapper) evalOn(t int, procs []int) placement {
 		pred := m.g.Edges[e].From
 		rt := 0.0
 		if !m.g.Tasks[pred].Virtual {
-			rt = m.est.RedistTime(m.g.Edges[e].Bytes, m.procs[pred], procs)
+			// Memoized: the sender set is fixed once pred is mapped, and
+			// candidate evaluations revisit the same receiver sets.
+			rt = m.est.EdgeRedistTime(e, m.g.Edges[e].Bytes, m.procs[pred], procs)
 		}
 		if v := m.finish[pred] + rt; v > est {
 			est = v
@@ -421,12 +480,16 @@ func (m *mapper) evalOn(t int, procs []int) placement {
 // to the heaviest predecessor to maximize self-communication. With
 // Options.PredOverlap (ablation), predecessor-anchored candidate sets of
 // the same size are also evaluated and the best estimated finish wins.
+//
+// The availability order is read straight from m.byAvail, which commit
+// keeps sorted; alignToHeaviestPred copies its input, so no candidate ever
+// aliases the maintained ordering.
 func (m *mapper) baselinePlacement(t int) placement {
 	k := m.alloc[t]
 	if k > m.cl.P {
 		k = m.cl.P
 	}
-	byAvail := m.procsByAvailability()
+	byAvail := m.byAvail
 	cand := m.alignToHeaviestPred(t, byAvail[:k])
 	best := m.evalOn(t, cand)
 	if m.opts.PredOverlap {
@@ -441,31 +504,20 @@ func (m *mapper) baselinePlacement(t int) placement {
 	return best
 }
 
-// procsByAvailability returns all processor IDs sorted by (availability,
-// ID).
-func (m *mapper) procsByAvailability() []int {
-	ids := make([]int, m.cl.P)
-	for i := range ids {
-		ids[i] = i
-	}
-	sort.SliceStable(ids, func(a, b int) bool {
-		if m.avail[ids[a]] != m.avail[ids[b]] {
-			return m.avail[ids[a]] < m.avail[ids[b]]
-		}
-		return ids[a] < ids[b]
-	})
-	return ids
-}
-
-// truncateOrExtend returns a set of exactly k processors based on base,
-// truncated or extended with the earliest-available processors not already
-// present.
+// truncateOrExtend returns a set of exactly k distinct processors based on
+// base, truncated or extended with the earliest-available processors not
+// already present. base entries are deduplicated too: a duplicated
+// processor in a predecessor set must not double-book a slot, which would
+// corrupt the availability bookkeeping on commit.
 func truncateOrExtend(base, byAvail []int, k int) []int {
 	out := make([]int, 0, k)
 	seen := make(map[int]bool, k)
 	for _, p := range base {
 		if len(out) == k {
 			break
+		}
+		if seen[p] {
+			continue
 		}
 		out = append(out, p)
 		seen[p] = true

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -305,6 +306,77 @@ func TestPropertySchedulesValid(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 24}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestTruncateOrExtendDedupesBase(t *testing.T) {
+	byAvail := []int{0, 1, 2, 3, 4, 5}
+	// A duplicated processor in the base set must not double-book a slot.
+	got := truncateOrExtend([]int{3, 3, 1}, byAvail, 4)
+	want := []int{3, 1, 0, 2}
+	if len(got) != len(want) {
+		t.Fatalf("truncateOrExtend = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("truncateOrExtend = %v, want %v", got, want)
+		}
+	}
+	// Truncation path: dedupe happens before counting the k slots.
+	got = truncateOrExtend([]int{2, 2, 4, 5}, byAvail, 2)
+	want = []int{2, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("truncateOrExtend (truncate) = %v, want %v", got, want)
+		}
+	}
+	// End-to-end: a schedule built from a predecessor with a duplicated
+	// processor set must still validate (distinct processors per task).
+	cl := platform.Grillon()
+	g := chain(3, 40e6)
+	costs := moldable.NewCosts(g, cl.SpeedGFlops)
+	opts := DefaultNaive(StrategyNone)
+	opts.PredOverlap = true
+	s := Map(g, costs, cl, []int{6, 4, 8}, opts)
+	if err := s.Validate(g, cl); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalAvailabilityOrder verifies the invariant behind the
+// incrementally-maintained processor ordering: after every commit of a
+// mapping run, byAvail must equal the full (availability, ID) sort that
+// procsByAvailability used to recompute per candidate evaluation.
+func TestIncrementalAvailabilityOrder(t *testing.T) {
+	for _, cl := range []*platform.Cluster{platform.Chti(), platform.Grelon()} {
+		for _, st := range []Strategy{StrategyNone, StrategyDelta, StrategyTimeCost} {
+			g := gen.Random(gen.RandomParams{
+				N: 40, Width: 0.8, Regularity: 0.2, Density: 0.5, Jump: 2, Seed: 99})
+			costs, a := setup(g, cl)
+			m := &mapper{
+				g: g, costs: costs, cl: cl,
+				est:   NewEstimator(cl),
+				opts:  DefaultNaive(st),
+				alloc: append([]int(nil), a...),
+			}
+			m.run()
+			ref := make([]int, cl.P)
+			for i := range ref {
+				ref[i] = i
+			}
+			sort.SliceStable(ref, func(x, y int) bool {
+				if m.avail[ref[x]] != m.avail[ref[y]] {
+					return m.avail[ref[x]] < m.avail[ref[y]]
+				}
+				return ref[x] < ref[y]
+			})
+			for i := range ref {
+				if m.byAvail[i] != ref[i] {
+					t.Fatalf("%s/%v: byAvail diverged from full sort at %d: %v vs %v",
+						cl.Name, st, i, m.byAvail[i], ref[i])
+				}
+			}
+		}
 	}
 }
 

@@ -93,6 +93,34 @@ func PaperClusters() []*Cluster {
 	return []*Cluster{Chti(), Grillon(), Grelon()}
 }
 
+// Big512 returns a synthetic 512-node production-scale cluster: sixteen
+// 32-node cabinets of 8 GFlop/s nodes with private gigabit links behind a
+// 40 Gb/s backbone. It extrapolates the paper's grelon layout (§II-B) to
+// the scale where the time-cost strategy's contention-free estimates are
+// most accurate (§IV-D) and where scheduler cost, not simulation fidelity,
+// becomes the binding constraint.
+func Big512() *Cluster {
+	return &Cluster{
+		Name: "big512", P: 512, SpeedGFlops: 8,
+		LinkLatency: GigabitLatency, LinkBandwidth: GigabitBandwidth,
+		CabinetSize:   32,
+		UplinkLatency: GigabitLatency, UplinkBandwidth: 40 * GigabitBandwidth,
+		WMax: DefaultWMax,
+	}
+}
+
+// Big1024 returns a synthetic 1024-node cluster: thirty-two 32-node
+// cabinets with the same per-node links and 40 Gb/s backbone as Big512.
+func Big1024() *Cluster {
+	return &Cluster{
+		Name: "big1024", P: 1024, SpeedGFlops: 8,
+		LinkLatency: GigabitLatency, LinkBandwidth: GigabitBandwidth,
+		CabinetSize:   32,
+		UplinkLatency: GigabitLatency, UplinkBandwidth: 40 * GigabitBandwidth,
+		WMax: DefaultWMax,
+	}
+}
+
 // ByName returns the preset cluster with the given name.
 func ByName(name string) (*Cluster, error) {
 	switch name {
@@ -102,8 +130,12 @@ func ByName(name string) (*Cluster, error) {
 		return Grillon(), nil
 	case "grelon":
 		return Grelon(), nil
+	case "big512":
+		return Big512(), nil
+	case "big1024":
+		return Big1024(), nil
 	}
-	return nil, fmt.Errorf("platform: unknown cluster %q (want chti, grillon or grelon)", name)
+	return nil, fmt.Errorf("platform: unknown cluster %q (want chti, grillon, grelon, big512 or big1024)", name)
 }
 
 // Hierarchical reports whether the cluster uses the cabinet topology.
@@ -168,23 +200,35 @@ func (c *Cluster) Route(src, dst int) (links []LinkID, latency float64) {
 	if src == dst {
 		return nil, 0
 	}
+	lat := c.RouteLatency(src, dst)
 	if !c.Hierarchical() || c.Cabinet(src) == c.Cabinet(dst) {
-		return []LinkID{c.nodeUp(src), c.nodeDown(dst)}, 2 * c.LinkLatency
+		return []LinkID{c.nodeUp(src), c.nodeDown(dst)}, lat
 	}
 	return []LinkID{
-			c.nodeUp(src),
-			c.cabUp(c.Cabinet(src)),
-			c.cabDown(c.Cabinet(dst)),
-			c.nodeDown(dst),
-		},
-		2*c.LinkLatency + 2*c.UplinkLatency
+		c.nodeUp(src),
+		c.cabUp(c.Cabinet(src)),
+		c.cabDown(c.Cabinet(dst)),
+		c.nodeDown(dst),
+	}, lat
+}
+
+// RouteLatency returns the one-way latency of the route from src to dst
+// without materializing the link list — the allocation-free companion of
+// Route for hot paths that only need the latency.
+func (c *Cluster) RouteLatency(src, dst int) float64 {
+	if src == dst {
+		return 0
+	}
+	if !c.Hierarchical() || c.Cabinet(src) == c.Cabinet(dst) {
+		return 2 * c.LinkLatency
+	}
+	return 2*c.LinkLatency + 2*c.UplinkLatency
 }
 
 // RTT returns the round-trip time between two nodes: twice the sum of the
 // latencies of the links on the (symmetric) route, as in SimGrid.
 func (c *Cluster) RTT(src, dst int) float64 {
-	_, lat := c.Route(src, dst)
-	return 2 * lat
+	return 2 * c.RouteLatency(src, dst)
 }
 
 // EffectiveBandwidth returns the empirical per-flow bandwidth
@@ -192,15 +236,12 @@ func (c *Cluster) RTT(src, dst int) float64 {
 // the route. It is used both as the per-flow rate cap in the simulator and
 // by the schedulers' contention-free redistribution estimates.
 func (c *Cluster) EffectiveBandwidth(src, dst int) float64 {
-	links, _ := c.Route(src, dst)
-	if len(links) == 0 {
+	if src == dst {
 		return 0 // self-flow: instantaneous, no bandwidth meaning
 	}
-	beta := c.LinkCapacity(links[0])
-	for _, l := range links[1:] {
-		if b := c.LinkCapacity(l); b < beta {
-			beta = b
-		}
+	beta := c.LinkBandwidth
+	if c.Hierarchical() && c.Cabinet(src) != c.Cabinet(dst) && c.UplinkBandwidth < beta {
+		beta = c.UplinkBandwidth
 	}
 	if rtt := c.RTT(src, dst); rtt > 0 {
 		if cap := c.WMax / rtt; cap < beta {

@@ -31,7 +31,7 @@ func TestPaperPresetsTableII(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"chti", "grillon", "grelon"} {
+	for _, name := range []string{"chti", "grillon", "grelon", "big512", "big1024"} {
 		c, err := ByName(name)
 		if err != nil || c.Name != name {
 			t.Errorf("ByName(%q) = %v, %v", name, c, err)
@@ -39,6 +39,35 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("nope"); err == nil {
 		t.Error("ByName should reject unknown clusters")
+	}
+}
+
+func TestBigPresets(t *testing.T) {
+	cases := []struct {
+		c       *Cluster
+		p, cabs int
+	}{
+		{Big512(), 512, 16},
+		{Big1024(), 1024, 32},
+	}
+	for _, tc := range cases {
+		if err := tc.c.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.c.Name, err)
+		}
+		if tc.c.P != tc.p {
+			t.Errorf("%s: P = %d, want %d", tc.c.Name, tc.c.P, tc.p)
+		}
+		if !tc.c.Hierarchical() || tc.c.Cabinets() != tc.cabs {
+			t.Errorf("%s: %d cabinets, want %d", tc.c.Name, tc.c.Cabinets(), tc.cabs)
+		}
+		// Cross-cabinet routes must traverse the backbone uplinks.
+		links, _ := tc.c.Route(0, tc.c.P-1)
+		if len(links) != 4 {
+			t.Errorf("%s: cross-cabinet route has %d links, want 4", tc.c.Name, len(links))
+		}
+		if got := tc.c.LinkCapacity(links[1]); got != 40*GigabitBandwidth {
+			t.Errorf("%s: uplink capacity = %g, want 40 Gb/s", tc.c.Name, got)
+		}
 	}
 }
 
@@ -167,6 +196,45 @@ func TestValidateRejectsBadClusters(t *testing.T) {
 	for _, c := range bad {
 		if err := c.Validate(); err == nil {
 			t.Errorf("cluster %q should fail validation", c.Name)
+		}
+	}
+}
+
+// Property: the closed-form RouteLatency / EffectiveBandwidth fast paths
+// agree with walking the materialized route, on flat and hierarchical
+// clusters (including a degenerate 1-node-per-cabinet layout).
+func TestPropertyRouteFastPaths(t *testing.T) {
+	tiny := &Cluster{Name: "tiny-cabs", P: 8, SpeedGFlops: 1,
+		LinkLatency: GigabitLatency, LinkBandwidth: GigabitBandwidth,
+		CabinetSize:   1,
+		UplinkLatency: 3 * GigabitLatency, UplinkBandwidth: GigabitBandwidth / 2,
+		WMax: DefaultWMax}
+	for _, c := range []*Cluster{Grillon(), Grelon(), Big1024(), tiny} {
+		f := func(a, b uint16) bool {
+			src := int(a) % c.P
+			dst := int(b) % c.P
+			links, lat := c.Route(src, dst)
+			if c.RouteLatency(src, dst) != lat {
+				return false
+			}
+			if len(links) == 0 {
+				return c.EffectiveBandwidth(src, dst) == 0
+			}
+			beta := c.LinkCapacity(links[0])
+			for _, l := range links[1:] {
+				if bw := c.LinkCapacity(l); bw < beta {
+					beta = bw
+				}
+			}
+			if rtt := 2 * lat; rtt > 0 {
+				if cap := c.WMax / rtt; cap < beta {
+					beta = cap
+				}
+			}
+			return c.EffectiveBandwidth(src, dst) == beta
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
 		}
 	}
 }

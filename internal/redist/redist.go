@@ -52,24 +52,40 @@ func BlockMatrix(total float64, p, q int) Matrix {
 	}
 	m := Matrix{P: p, Q: q, Total: total,
 		rowStart: make([]int, p), rowVals: make([][]float64, p)}
+	// Each row's band is contiguous and VisitBlocks emits it in order, so
+	// the first entry of a row fixes rowStart and the rest append.
+	VisitBlocks(total, p, q, func(i, j int, v float64) {
+		if m.rowVals[i] == nil {
+			m.rowStart[i] = j
+		}
+		m.rowVals[i] = append(m.rowVals[i], v)
+	})
+	return m
+}
+
+// VisitBlocks calls fn for every non-zero entry of the p×q block
+// communication matrix for total units of data, in row-major order,
+// without materializing the matrix. It is the allocation-free equivalent
+// of BlockMatrix followed by NonZeros, for hot paths that only need one
+// pass over the O(p+q) non-zeros (e.g. the scheduler's redistribution
+// estimates).
+func VisitBlocks(total float64, p, q int, fn func(i, j int, v float64)) {
+	if p <= 0 || q <= 0 {
+		panic("redist: VisitBlocks requires positive p and q")
+	}
 	unit := total / float64(p*q)
 	for i := 0; i < p; i++ {
-		// Sender i covers scaled interval [i·q, (i+1)·q).
+		// Sender i covers scaled interval [i·q, (i+1)·q); receiver j covers
+		// [j·p, (j+1)·p), in units of total/(p·q) (see BlockMatrix).
 		lo, hi := i*q, (i+1)*q
-		jFirst := lo / p      // first receiver whose interval [j·p,(j+1)·p) intersects
-		jLast := (hi - 1) / p // last one
-		vals := make([]float64, jLast-jFirst+1)
-		for j := jFirst; j <= jLast; j++ {
+		jLast := (hi - 1) / p
+		for j := lo / p; j <= jLast; j++ {
 			rlo, rhi := j*p, (j+1)*p
-			ov := min(hi, rhi) - max(lo, rlo)
-			if ov > 0 {
-				vals[j-jFirst] = float64(ov) * unit
+			if ov := min(hi, rhi) - max(lo, rlo); ov > 0 {
+				fn(i, j, float64(ov)*unit)
 			}
 		}
-		m.rowStart[i] = jFirst
-		m.rowVals[i] = vals
 	}
-	return m
 }
 
 // At returns M[i][j].

@@ -223,3 +223,40 @@ func BenchmarkAlignHungarian32(b *testing.B) {
 		AlignReceivers(1e9, senders, receivers, AlignHungarian)
 	}
 }
+
+// TestVisitBlocksMatchesBlockMatrix: the allocation-free traversal must
+// produce exactly the non-zeros of the materialized matrix, in the same
+// row-major order.
+func TestVisitBlocksMatchesBlockMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 200; iter++ {
+		p := 1 + rng.Intn(64)
+		q := 1 + rng.Intn(64)
+		total := rng.Float64() * 1e9
+		m := BlockMatrix(total, p, q)
+		type entry struct {
+			i, j int
+			v    float64
+		}
+		var want, got []entry
+		m.NonZeros(func(i, j int, v float64) { want = append(want, entry{i, j, v}) })
+		VisitBlocks(total, p, q, func(i, j int, v float64) { got = append(got, entry{i, j, v}) })
+		if len(got) != len(want) {
+			t.Fatalf("p=%d q=%d: %d entries, want %d", p, q, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("p=%d q=%d entry %d: %+v, want %+v", p, q, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestVisitBlocksPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("VisitBlocks(10, 0, 5) should panic")
+		}
+	}()
+	VisitBlocks(10, 0, 5, func(i, j int, v float64) {})
+}

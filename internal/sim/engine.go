@@ -121,6 +121,12 @@ func (e *Engine) recompute() {
 		flowCaps[i] = f.rateCap
 	}
 	rates := e.solver.Solve(e.linkCaps, flowLinks, flowCaps)
+	// Release the link-slice references once solved: as the flow population
+	// shrinks, slots past the next n would otherwise pin completed flows'
+	// link slices for the rest of a long simulation.
+	for i := range flowLinks {
+		flowLinks[i] = nil
+	}
 	for i, f := range e.flows {
 		f.rate = rates[i]
 	}

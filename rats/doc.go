@@ -10,8 +10,9 @@
 //
 //   - a DAG of moldable tasks, built fluently (NewDAG().Task(...).Edge(...))
 //     or produced by the paper's workload generators (FFT, Strassen, Random);
-//   - a Cluster, one of the paper's presets (Chti, Grillon, Grelon) or a
-//     custom description (NewCluster);
+//   - a Cluster, one of the paper's presets (Chti, Grillon, Grelon), a
+//     production-scale preset (Big512, Big1024) or a custom description
+//     (NewCluster);
 //   - a Scheduler assembled from functional options (New(WithStrategy(Delta),
 //     WithAllocator(HCPA), WithDeltaBounds(-0.5, 0.5), ...)) that turns a DAG
 //     into a typed Result: per-task placements, the simulated makespan, wire

@@ -26,8 +26,18 @@ func Grillon() *Cluster { return &Cluster{pc: platform.Grillon()} }
 // GFlop/s in five 24-node cabinets behind a hierarchical switch.
 func Grelon() *Cluster { return &Cluster{pc: platform.Grelon()} }
 
+// Big512 returns a synthetic production-scale cluster: 512 nodes at 8
+// GFlop/s in sixteen 32-node cabinets behind a 40 Gb/s backbone. It
+// extrapolates the paper's hierarchical layout to the scale where the
+// time-cost strategy's estimates are most accurate (§IV-D).
+func Big512() *Cluster { return &Cluster{pc: platform.Big512()} }
+
+// Big1024 returns a synthetic 1024-node cluster: thirty-two 32-node
+// cabinets with the same links as Big512.
+func Big1024() *Cluster { return &Cluster{pc: platform.Big1024()} }
+
 // ClusterByName returns the preset cluster with the given name ("chti",
-// "grillon" or "grelon").
+// "grillon", "grelon", "big512" or "big1024").
 func ClusterByName(name string) (*Cluster, error) {
 	pc, err := platform.ByName(name)
 	if err != nil {

@@ -3,6 +3,7 @@ package rats
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 
@@ -144,6 +145,8 @@ func TestClusterPresets(t *testing.T) {
 		{Chti(), "chti", 20},
 		{Grillon(), "grillon", 47},
 		{Grelon(), "grelon", 120},
+		{Big512(), "big512", 512},
+		{Big1024(), "big1024", 1024},
 	} {
 		if tc.c.Name() != tc.name || tc.c.Procs() != tc.procs {
 			t.Errorf("preset %s: got (%s, %d)", tc.name, tc.c.Name(), tc.c.Procs())
@@ -155,6 +158,12 @@ func TestClusterPresets(t *testing.T) {
 	}
 	if !Grelon().Hierarchical() || Grelon().Cabinets() != 5 {
 		t.Error("grelon should be hierarchical with 5 cabinets")
+	}
+	if !Big512().Hierarchical() || Big512().Cabinets() != 16 {
+		t.Error("big512 should be hierarchical with 16 cabinets")
+	}
+	if !Big1024().Hierarchical() || Big1024().Cabinets() != 32 {
+		t.Error("big1024 should be hierarchical with 32 cabinets")
 	}
 	if _, err := ClusterByName("bogus"); err == nil {
 		t.Error("ClusterByName accepted bogus name")
@@ -185,6 +194,7 @@ func TestNewClusterDefaultsAndValidation(t *testing.T) {
 }
 
 func TestOptionErrors(t *testing.T) {
+	nan := math.NaN()
 	bad := []*Scheduler{
 		New(WithCluster(nil)),
 		New(WithDeltaBounds(0.1, 0.5)),
@@ -193,6 +203,13 @@ func TestOptionErrors(t *testing.T) {
 		New(WithMinRho(1.5)),
 		New(WithWorkers(0)),
 		New(WithFixedAllocation()),
+		// NaN makes every ordinary range check vacuously false and ±Inf
+		// poisons the δ bounds; both must be configuration errors.
+		New(WithDeltaBounds(nan, 0.5)),
+		New(WithDeltaBounds(-0.5, nan)),
+		New(WithDeltaBounds(math.Inf(-1), 0.5)),
+		New(WithDeltaBounds(-0.5, math.Inf(1))),
+		New(WithMinRho(nan)),
 	}
 	for i, s := range bad {
 		if _, err := s.Schedule(chainDAG(t)); err == nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -97,9 +98,15 @@ func WithAllocator(a Allocator) Option {
 
 // WithDeltaBounds sets the delta strategy's packing/stretching bounds as
 // fractions of a task's allocation: min ≤ 0 bounds packing, max ≥ 0
-// bounds stretching (the paper's naive values are −0.5 and 0.5).
+// bounds stretching (the paper's naive values are −0.5 and 0.5). Both
+// bounds must be finite: NaN and ±Inf would silently poison the per-task
+// δ bounds, so they are rejected as configuration errors.
 func WithDeltaBounds(min, max float64) Option {
 	return func(s *Scheduler) {
+		if math.IsNaN(min) || math.IsInf(min, 0) || math.IsNaN(max) || math.IsInf(max, 0) {
+			s.fail("rats: WithDeltaBounds(%g, %g): bounds must be finite", min, max)
+			return
+		}
 		if min > 0 || max < 0 {
 			s.fail("rats: WithDeltaBounds(%g, %g): want min ≤ 0 ≤ max", min, max)
 			return
@@ -109,10 +116,11 @@ func WithDeltaBounds(min, max float64) Option {
 }
 
 // WithMinRho sets the time-cost strategy's minimum acceptable work ratio
-// for a stretch, in (0, 1].
+// for a stretch, in (0, 1]. NaN — for which every range check is
+// vacuously false — is rejected like any other value outside the interval.
 func WithMinRho(rho float64) Option {
 	return func(s *Scheduler) {
-		if rho <= 0 || rho > 1 {
+		if math.IsNaN(rho) || rho <= 0 || rho > 1 {
 			s.fail("rats: WithMinRho(%g): want a ratio in (0, 1]", rho)
 			return
 		}
