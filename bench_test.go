@@ -309,6 +309,47 @@ func BenchmarkRedistTime(b *testing.B) {
 	}
 }
 
+// BenchmarkAlloc runs the allocation phase (the first step of the two-step
+// algorithm) over cluster size × DAG width — the two axes that drive the
+// number of refinement grants and the size of the level-repair cones. The
+// incremental engine (alloc.Compute) and the preserved full-rewalk oracle
+// (alloc.ComputeReference) run on identical inputs, so the per-pair ratio
+// is the engine's speedup; cmd/benchtraj tracks it across PRs in
+// BENCH_alloc.json. Both sides are asserted byte-identical here too —
+// a diverging "speedup" would be a scheduling change, not an optimization.
+func BenchmarkAlloc(b *testing.B) {
+	for _, cl := range hotPathClusters() {
+		for _, n := range []int{100, 400} {
+			for _, width := range []float64{0.2, 0.5, 0.8} {
+				g := gen.Random(gen.RandomParams{
+					N: n, Width: width, Regularity: 0.8, Density: 0.5, Layered: true, Seed: 7})
+				costs := moldable.NewCosts(g, cl.SpeedGFlops)
+				opts := alloc.DefaultOptions()
+				want := alloc.Compute(g, costs, cl, opts)
+				for _, engine := range []struct {
+					name string
+					run  func() []int
+				}{
+					{"incremental", func() []int { return alloc.Compute(g, costs, cl, opts) }},
+					{"reference", func() []int { return alloc.ComputeReference(g, costs, cl, opts) }},
+				} {
+					b.Run(fmt.Sprintf("%s/n=%d/w=%.1f/%s", cl.Name, n, width, engine.name), func(b *testing.B) {
+						b.ReportAllocs()
+						for i := 0; i < b.N; i++ {
+							got := engine.run()
+							for t := range want {
+								if got[t] != want[t] {
+									b.Fatalf("allocation diverged at task %d", t)
+								}
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
 // BenchmarkMap runs the full mapping phase (time-cost strategy, the most
 // estimator-intensive) over cluster size × DAG width, the two axes that
 // drive candidate-placement cost. Layered 100-task graphs keep the DAG
@@ -334,7 +375,7 @@ func BenchmarkMap(b *testing.B) {
 	}
 }
 
-// --- Ablation benches (design choices called out in DESIGN.md §6) -------
+// --- Ablation benches (design choices called out in docs/ARCHITECTURE.md, "Design reconstructions") -------
 
 // BenchmarkAblation_EdgeCostsInCP compares allocation with and without
 // edge costs folded into the critical path.
@@ -353,7 +394,7 @@ func BenchmarkAblation_LevelCap(b *testing.B) {
 }
 
 // BenchmarkAblation_Claiming compares RATS-delta with and without the
-// one-adoption-per-parent rule (DESIGN.md §3.5). The measured makespans —
+// one-adoption-per-parent rule (docs/ARCHITECTURE.md, "Design reconstructions"). The measured makespans —
 // reported as custom metrics — show why claiming is load-bearing: without
 // it, siblings serialize on popular parents.
 func BenchmarkAblation_Claiming(b *testing.B) {

@@ -1,0 +1,234 @@
+// Command benchtraj runs the hot-path benchmarks (allocation, mapping,
+// redistribution estimation) and appends one trajectory entry per
+// invocation to a JSON file tracked in the repository, so the performance
+// of the scheduling pipeline is recorded PR over PR instead of living in
+// commit messages.
+//
+// Usage:
+//
+//	benchtraj [-file BENCH_alloc.json] [-benchtime 3x] [-label NAME] [-smoke]
+//
+// Each entry carries the raw ns/op / B/op / allocs/op of every hot-path
+// sub-benchmark plus a derived summary: the geometric-mean speedup of the
+// incremental allocator over the preserved full-rewalk reference, per
+// cluster preset (the headline number the incremental-allocation work is
+// held to).
+//
+// -smoke runs the suite at -benchtime 1x and prints the entry to stdout
+// without touching the file: CI uses it to prove the wiring (benchmarks
+// compile, parse, and produce a well-formed entry) without committing
+// noise-level measurements from shared runners. Real trajectory points
+// are appended locally and committed with the PR that changed the hot
+// path.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Measurement is one parsed benchmark result line.
+type Measurement struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_op"`
+	BPerOp   float64 `json:"b_op,omitempty"`
+	AllocsOp float64 `json:"allocs_op,omitempty"`
+}
+
+// Entry is one trajectory point.
+type Entry struct {
+	Label      string             `json:"label"`
+	Commit     string             `json:"commit,omitempty"`
+	Date       string             `json:"date"`
+	GoVersion  string             `json:"go_version"`
+	Benchtime  string             `json:"benchtime"`
+	AllocSpeed map[string]float64 `json:"alloc_speedup_geomean,omitempty"`
+	Benchmarks []Measurement      `json:"benchmarks"`
+}
+
+func main() {
+	file := flag.String("file", "BENCH_alloc.json", "trajectory file to append to")
+	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
+	label := flag.String("label", "", "entry label (default: current git short hash)")
+	pattern := flag.String("bench", "^(BenchmarkAlloc|BenchmarkMap|BenchmarkRedistTime)$", "benchmark pattern")
+	smoke := flag.Bool("smoke", false, "run at -benchtime 1x and print the entry instead of appending")
+	flag.Parse()
+
+	if err := run(*file, *benchtime, *label, *pattern, *smoke); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtraj:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file, benchtime, label, pattern string, smoke bool) error {
+	if smoke {
+		benchtime = "1x"
+	}
+	commit := gitShortHash()
+	if label == "" {
+		if commit != "" {
+			label = commit
+		} else {
+			label = "local"
+		}
+	}
+
+	out, err := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+		"-benchtime", benchtime, "-benchmem", ".").CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("go test -bench failed: %w\n%s", err, out)
+	}
+	ms := parseBenchOutput(string(out))
+	if len(ms) == 0 {
+		return fmt.Errorf("no benchmark lines parsed from go test output:\n%s", out)
+	}
+
+	entry := Entry{
+		Label:      label,
+		Commit:     commit,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		Benchtime:  benchtime,
+		AllocSpeed: allocSpeedups(ms),
+		Benchmarks: ms,
+	}
+
+	if smoke {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(entry)
+	}
+	return appendEntry(file, entry)
+}
+
+// gitShortHash returns the current commit's short hash, or "" outside a
+// git checkout.
+func gitShortHash() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// parseBenchOutput extracts the benchmark lines from `go test -bench`
+// output. A line looks like:
+//
+//	BenchmarkAlloc/big1024/n=400/w=0.5/incremental-8  30  25862661 ns/op  59296 B/op  353 allocs/op
+func parseBenchOutput(out string) []Measurement {
+	var ms []Measurement
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			// Strip the GOMAXPROCS suffix.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := Measurement{Name: name}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+			case "B/op":
+				m.BPerOp = v
+			case "allocs/op":
+				m.AllocsOp = v
+			}
+		}
+		if m.NsPerOp > 0 {
+			ms = append(ms, m)
+		}
+	}
+	return ms
+}
+
+// allocSpeedups derives, per cluster, the geometric-mean ratio of the
+// reference allocator's ns/op over the incremental engine's across every
+// BenchmarkAlloc (cluster, n, width) shape.
+func allocSpeedups(ms []Measurement) map[string]float64 {
+	type pair struct{ inc, ref float64 }
+	pairs := map[string]map[string]*pair{} // cluster -> shape -> times
+	for _, m := range ms {
+		parts := strings.Split(m.Name, "/")
+		// BenchmarkAlloc/<cluster>/n=<n>/w=<w>/<engine>
+		if len(parts) != 5 || parts[0] != "BenchmarkAlloc" {
+			continue
+		}
+		cluster, shape, engine := parts[1], parts[2]+"/"+parts[3], parts[4]
+		if pairs[cluster] == nil {
+			pairs[cluster] = map[string]*pair{}
+		}
+		if pairs[cluster][shape] == nil {
+			pairs[cluster][shape] = &pair{}
+		}
+		switch engine {
+		case "incremental":
+			pairs[cluster][shape].inc = m.NsPerOp
+		case "reference":
+			pairs[cluster][shape].ref = m.NsPerOp
+		}
+	}
+	speed := map[string]float64{}
+	for cluster, shapes := range pairs {
+		logSum, n := 0.0, 0
+		for _, p := range shapes {
+			if p.inc > 0 && p.ref > 0 {
+				logSum += math.Log(p.ref / p.inc)
+				n++
+			}
+		}
+		if n > 0 {
+			speed[cluster] = math.Round(math.Exp(logSum/float64(n))*100) / 100
+		}
+	}
+	if len(speed) == 0 {
+		return nil
+	}
+	return speed
+}
+
+// appendEntry reads the existing trajectory (if any), appends the entry
+// and writes the file back with stable formatting and ordering.
+func appendEntry(file string, entry Entry) error {
+	var entries []Entry
+	if data, err := os.ReadFile(file); err == nil {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return fmt.Errorf("existing %s is not a trajectory file: %w", file, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	entries = append(entries, entry)
+	sort.SliceStable(entry.Benchmarks, func(a, b int) bool {
+		return entry.Benchmarks[a].Name < entry.Benchmarks[b].Name
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(file, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("appended %q to %s (%d entries, %d benchmarks)\n",
+		entry.Label, file, len(entries), len(entry.Benchmarks))
+	return nil
+}

@@ -9,9 +9,13 @@
 // -stride subsamples the 557 application configurations (stride 1 = the
 // full evaluation; stride 4 keeps every 4th configuration) to bound the
 // runtime on small machines. -only selects a comma-separated subset of
-// {tableI,tableII,tableIII,fig23,fig4,fig5,tableIV,fig67,tableV6,extended};
+// {tableI,tableII,tableIII,fig23,fig4,fig5,tableIV,fig67,tableV6,extended,big};
 // "extended" adds a five-way comparison with the CPA and MCPA baselines,
-// which the paper describes (§II-C) but does not evaluate.
+// which the paper describes (§II-C) but does not evaluate; "big" (never
+// part of the default set — the replay of 400–800-task DAGs on the
+// big512/big1024 presets takes minutes per scenario) runs the
+// production-scale inventories of exp.ScenariosAt on their matched
+// cluster presets.
 //
 // The experiment pipeline is: HCPA allocation (shared) → {HCPA baseline,
 // RATS-delta, RATS-time-cost} mapping → contention-aware replay on the
@@ -235,6 +239,30 @@ func run(stride, workers int, outDir, only string) error {
 			return nil
 		}); err != nil {
 			return err
+		}
+	}
+	// Extension beyond the paper: the production-scale comparison on the
+	// big512/big1024 presets with their matched scenario inventories
+	// (exp.ScenariosAt). Opt-in only (-only big): the flow-level replay of
+	// 400–800-task DAGs on 512–1024 nodes takes minutes per scenario.
+	if want["big"] {
+		for _, sc := range []exp.Scale{exp.ScaleBig512, exp.ScaleBig1024} {
+			sc := sc
+			if err := emit("big_"+sc.String(), func(w io.Writer) error {
+				cl := sc.Cluster()
+				bigScens := exp.Subsample(exp.ScenariosAt(sc), stride)
+				algos := exp.NaiveAlgos()
+				results, err := runner.Run(bigScens, cl, algos)
+				if err != nil {
+					return err
+				}
+				ms := exp.Makespans(results)
+				fmt.Fprintf(w, "== Production scale (not in the paper): %d scenarios on %s, makespan relative to HCPA ==\n",
+					len(bigScens), cl.Name)
+				return writeExtended(w, algos, ms)
+			}); err != nil {
+				return err
+			}
 		}
 	}
 	// Extension beyond the paper: five-way comparison adding the CPA and

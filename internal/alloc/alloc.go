@@ -1,24 +1,3 @@
-// Package alloc implements the first step of two-step mixed-parallel
-// scheduling: deciding how many processors to allocate to each moldable
-// task (§II-C of the paper).
-//
-// CPA (Radulescu & van Gemund) balances two lower bounds of the makespan:
-// the critical-path length C∞ and the average area W = Σ ω_i / P. Starting
-// from one processor per task, it repeatedly gives one more processor to
-// the critical-path task that benefits most, until C∞ ≤ W.
-//
-// HCPA (N'takpé, Suter & Casanova) keeps the same loop but modifies the
-// average-area definition to remove the bias induced by large clusters.
-// The exact formula of reference [7] is not reproduced in the paper; we
-// reconstruct the documented intent by capping the denominator at the
-// number of tasks: W' = Σ ω_i / min(P, N). On small clusters (P ≤ N) this
-// is exactly CPA; on large ones the area is larger, the loop stops earlier
-// and allocations stay moderate, preserving task parallelism — the
-// behaviour [7] reports. See DESIGN.md §3 for the full rationale.
-//
-// MCPA (Bansal, Kumar & Singh) additionally constrains each precedence
-// level to fit on the cluster (Σ allocations within a level ≤ P), which the
-// paper notes is only applicable to very regular DAGs.
 package alloc
 
 import (
@@ -68,13 +47,13 @@ type Options struct {
 	// that every precedence level can execute concurrently. This is the
 	// allocation-limiting behaviour HCPA's modified area aims for
 	// (N'takpé & Suter's "self-constrained" allocations) and is part of
-	// our HCPA reconstruction; see DESIGN.md §3.
+	// our HCPA reconstruction; see docs/ARCHITECTURE.md, "Design reconstructions".
 	LevelCap bool
 }
 
 // DefaultOptions returns the configuration used throughout the evaluation:
 // HCPA with a computation-only critical path and level-capped allocations
-// (our reconstruction of HCPA's allocation moderation; DESIGN.md §3).
+// (our reconstruction of HCPA's allocation moderation; docs/ARCHITECTURE.md, "Design reconstructions").
 func DefaultOptions() Options {
 	return Options{Method: HCPA, IncludeEdgeCosts: false, LevelCap: true}
 }
@@ -82,133 +61,14 @@ func DefaultOptions() Options {
 // Compute returns the processor allocation of every task (0 for virtual
 // tasks). The graph must be validated; the returned slice has length
 // g.N().
+//
+// The refinement loop runs on the incremental engine of incremental.go,
+// which maintains levels, the critical-path candidate set and the work
+// area under each single-processor grant instead of re-walking the DAG.
+// Its output is byte-identical to the original full-rewalk procedure,
+// which reference.go preserves as the testing oracle.
 func Compute(g *dag.Graph, costs *moldable.Costs, cl *platform.Cluster, opts Options) []int {
-	n := g.N()
-	allocs := make([]int, n)
-	real := 0
-	for t := 0; t < n; t++ {
-		if !g.Tasks[t].Virtual {
-			allocs[t] = 1
-			real++
-		}
-	}
-	if real == 0 {
-		return allocs
-	}
-
-	denom := float64(cl.P)
-	if opts.Method == HCPA || opts.Method == MCPA {
-		if real < cl.P {
-			denom = float64(real)
-		}
-	}
-
-	edgeCost := func(e int) float64 { return 0 }
-	if opts.IncludeEdgeCosts {
-		beta, lat := cl.LinkBandwidth, cl.LinkLatency
-		edgeCost = func(e int) float64 {
-			b := g.Edges[e].Bytes
-			if b <= 0 {
-				return 0
-			}
-			return b/beta + 2*lat
-		}
-	}
-	taskCost := func(t int) float64 {
-		if g.Tasks[t].Virtual {
-			return 0
-		}
-		return costs.Time(t, allocs[t])
-	}
-
-	// Per-level processor budget for MCPA, and per-task caps for the
-	// level-aware HCPA variant.
-	var levelOf []int
-	var levelUse []int
-	taskCap := make([]int, n)
-	for t := range taskCap {
-		taskCap[t] = cl.P
-	}
-	if opts.Method == MCPA || opts.LevelCap {
-		lvl, nl := g.Levels()
-		levelOf = lvl
-		levelUse = make([]int, nl)
-		width := make([]int, nl)
-		for t := 0; t < n; t++ {
-			if !g.Tasks[t].Virtual {
-				levelUse[lvl[t]]++
-				width[lvl[t]]++
-			}
-		}
-		if opts.LevelCap {
-			for t := 0; t < n; t++ {
-				if g.Tasks[t].Virtual || width[lvl[t]] == 0 {
-					continue
-				}
-				c := (cl.P + width[lvl[t]] - 1) / width[lvl[t]]
-				if c < 1 {
-					c = 1
-				}
-				taskCap[t] = c
-			}
-		}
-	}
-
-	totalWork := func() float64 {
-		w := 0.0
-		for t := 0; t < n; t++ {
-			if !g.Tasks[t].Virtual {
-				w += costs.Work(t, allocs[t])
-			}
-		}
-		return w
-	}
-
-	const rel = 1e-9
-	for {
-		// One bottom-level and one top-level pass per iteration give both
-		// C∞ and the critical-path membership.
-		bl := g.BottomLevels(taskCost, edgeCost)
-		cInf := 0.0
-		for _, v := range bl {
-			if v > cInf {
-				cInf = v
-			}
-		}
-		area := totalWork() / denom
-		if cInf <= area {
-			break
-		}
-		tl := g.TopLevels(taskCost, edgeCost)
-		tol := cInf * rel
-		onCP := make([]bool, n)
-		for t := 0; t < n; t++ {
-			onCP[t] = tl[t]+bl[t] >= cInf-tol
-		}
-		// Give one processor to the critical-path task that benefits the
-		// most from the increase (largest execution-time reduction).
-		best, bestGain := -1, 0.0
-		for t := 0; t < n; t++ {
-			if !onCP[t] || g.Tasks[t].Virtual || allocs[t] >= cl.P || allocs[t] >= taskCap[t] {
-				continue
-			}
-			if opts.Method == MCPA && levelUse[levelOf[t]] >= cl.P {
-				continue
-			}
-			gain := costs.Time(t, allocs[t]) - costs.Time(t, allocs[t]+1)
-			if gain > bestGain || (gain == bestGain && best >= 0 && allocs[t] < allocs[best]) {
-				best, bestGain = t, gain
-			}
-		}
-		if best < 0 || bestGain <= 0 {
-			break // critical path saturated; no further benefit possible
-		}
-		allocs[best]++
-		if opts.Method == MCPA {
-			levelUse[levelOf[best]]++
-		}
-	}
-	return allocs
+	return computeIncremental(g, costs, cl, opts)
 }
 
 // OneEach returns the trivial allocation of one processor per real task,

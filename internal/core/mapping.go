@@ -88,7 +88,7 @@ type Options struct {
 	DeltaEFTGuard bool
 
 	// NoClaiming is an ablation switch: it disables the one-adoption-per-
-	// parent rule (DESIGN.md §3.5), letting every ready child adopt the
+	// parent rule (docs/ARCHITECTURE.md, "Design reconstructions"), letting every ready child adopt the
 	// same predecessor's processor set. The paper's results are not
 	// reproducible in this mode — siblings of popular parents serialize —
 	// which is the evidence for the claiming interpretation; the ablation
@@ -151,6 +151,14 @@ type mapper struct {
 	availKept    []int  // reorderAvail scratch: untouched entries
 	availTouched []int  // reorderAvail scratch: committed processors
 	touchedMark  []bool // reorderAvail scratch, indexed by processor ID
+
+	// bufPool recycles candidate processor-set buffers. Every candidate
+	// placement copies a processor set (alignToHeaviestPred, the RATS
+	// adoption copies), but only the winning candidate's set survives into
+	// procs[t] — the losers used to be garbage. Discarded buffers return
+	// to the pool via putBuf; committed ones transfer ownership to the
+	// schedule and are never recycled.
+	bufPool [][]int
 
 	// claimed[p] is set once a task has inherited predecessor p's
 	// processor set. Each parent allocation can be adopted by at most one
@@ -452,6 +460,28 @@ func (m *mapper) reorderAvail(procs []int, eft float64) {
 	}
 }
 
+// getBuf returns an empty processor-set buffer from the pool. A pool miss
+// returns nil on purpose: the subsequent append (or AlignReceiversInto)
+// sizes the allocation to the candidate itself, not to the cluster, so
+// committed sets never pin cluster-sized backing arrays.
+func (m *mapper) getBuf() []int {
+	if n := len(m.bufPool); n > 0 {
+		b := m.bufPool[n-1][:0]
+		m.bufPool = m.bufPool[:n-1]
+		return b
+	}
+	return nil
+}
+
+// putBuf returns a discarded candidate buffer to the pool. Callers must
+// only pass buffers that lost their placement race — a committed buffer
+// is owned by the schedule.
+func (m *mapper) putBuf(b []int) {
+	if cap(b) > 0 {
+		m.bufPool = append(m.bufPool, b)
+	}
+}
+
 // evalOn builds the placement of t on an explicit processor set.
 func (m *mapper) evalOn(t int, procs []int) placement {
 	est := 0.0
@@ -497,7 +527,10 @@ func (m *mapper) baselinePlacement(t int) placement {
 			set := truncateOrExtend(m.procs[pred], byAvail, k)
 			pl := m.evalOn(t, m.alignToHeaviestPred(t, set))
 			if pl.eft < best.eft {
+				m.putBuf(best.procs)
 				best = pl
+			} else {
+				m.putBuf(pl.procs)
 			}
 		}
 	}
@@ -536,7 +569,8 @@ func truncateOrExtend(base, byAvail []int, k int) []int {
 
 // alignToHeaviestPred permutes the rank order of a processor set to
 // maximize self-communication with the predecessor contributing the most
-// bytes (§II-A). The set itself is unchanged.
+// bytes (§II-A). The set itself is unchanged; the returned copy lives in
+// a pooled candidate buffer (see bufPool).
 func (m *mapper) alignToHeaviestPred(t int, procs []int) []int {
 	var heavy int = -1
 	var bytes float64
@@ -551,7 +585,7 @@ func (m *mapper) alignToHeaviestPred(t int, procs []int) []int {
 		}
 	}
 	if heavy < 0 || bytes == 0 {
-		return append([]int(nil), procs...)
+		return append(m.getBuf(), procs...)
 	}
-	return redist.AlignReceivers(bytes, m.procs[heavy], procs, m.opts.Align)
+	return redist.AlignReceiversInto(m.getBuf(), bytes, m.procs[heavy], procs, m.opts.Align)
 }

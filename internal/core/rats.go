@@ -64,9 +64,12 @@ func (m *mapper) deltaPlacement(t int) (*placement, int) {
 	default:
 		return nil, -1
 	}
-	pl := m.evalOn(t, append([]int(nil), m.procs[pred]...))
+	pl := m.evalOn(t, append(m.getBuf(), m.procs[pred]...))
 	if m.opts.DeltaEFTGuard {
-		if base := m.baselinePlacement(t); base.eft < pl.eft {
+		base := m.baselinePlacement(t)
+		m.putBuf(base.procs)
+		if base.eft < pl.eft {
+			m.putBuf(pl.procs)
 			return nil, -1
 		}
 	}
@@ -118,7 +121,7 @@ func (m *mapper) timeCostPlacement(t int) (*placement, int) {
 		}
 	}
 	if stretchPred >= 0 && bestRho >= m.opts.MinRho {
-		pl := m.evalOn(t, append([]int(nil), m.procs[stretchPred]...))
+		pl := m.evalOn(t, append(m.getBuf(), m.procs[stretchPred]...))
 		best, bestPred, bestEFT = &pl, stretchPred, pl.eft
 	}
 
@@ -129,12 +132,18 @@ func (m *mapper) timeCostPlacement(t int) (*placement, int) {
 			if len(m.procs[p]) >= m.alloc[t] {
 				continue
 			}
-			pl := m.evalOn(t, append([]int(nil), m.procs[p]...))
+			pl := m.evalOn(t, append(m.getBuf(), m.procs[p]...))
 			if pl.eft <= baseline.eft && pl.eft < bestEFT {
+				if best != nil {
+					m.putBuf(best.procs)
+				}
 				cp := pl
 				best, bestPred, bestEFT = &cp, p, pl.eft
+			} else {
+				m.putBuf(pl.procs)
 			}
 		}
+		m.putBuf(baseline.procs)
 	}
 	return best, bestPred
 }

@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/moldable"
+	"repro/internal/platform"
+)
+
+// TestBigScenarioInventory pins the production-scale inventories: 36
+// configurations per scale, valid graphs, unique names, deterministic
+// regeneration.
+func TestBigScenarioInventory(t *testing.T) {
+	for _, sc := range []Scale{ScaleBig512, ScaleBig1024} {
+		scens := ScenariosAt(sc)
+		if len(scens) != 36 {
+			t.Fatalf("%v: %d scenarios, want 36", sc, len(scens))
+		}
+		names := map[string]bool{}
+		for i, s := range scens {
+			if s.ID != i {
+				t.Fatalf("%v: scenario %d has ID %d", sc, i, s.ID)
+			}
+			if names[s.Name()] {
+				t.Fatalf("%v: duplicate scenario name %s", sc, s.Name())
+			}
+			names[s.Name()] = true
+		}
+		// Spot-check one graph per kind (building all 800-task graphs per
+		// test run is wasteful; determinism is covered below).
+		for _, idx := range []int{0, 16, 32} {
+			g := scens[idx].Graph()
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%v scenario %s: %v", sc, scens[idx].Name(), err)
+			}
+			if got := g.RealTaskCount(); got < 100 {
+				t.Fatalf("%v scenario %s: only %d real tasks — not a big scenario", sc, scens[idx].Name(), got)
+			}
+		}
+	}
+	if got := len(ScenariosAt(ScalePaper)); got != 557 {
+		t.Fatalf("ScalePaper: %d scenarios, want 557", got)
+	}
+}
+
+// TestScaleClusterPairing checks the preset pairing the expdriver relies
+// on.
+func TestScaleClusterPairing(t *testing.T) {
+	if ScaleBig512.Cluster().P != 512 || ScaleBig1024.Cluster().P != 1024 {
+		t.Fatal("big scales must pair with the matching presets")
+	}
+	if ScalePaper.Cluster().Name != platform.Grillon().Name {
+		t.Fatal("paper scale defaults to grillon")
+	}
+	if ScalePaper.String() != "paper" || ScaleBig512.String() != "big512" || ScaleBig1024.String() != "big1024" {
+		t.Fatal("Scale.String mismatch")
+	}
+}
+
+// TestBigScenarioPipelineSmoke runs the smallest big512 scenarios end to
+// end (allocation → mapping → contended replay) on the big512 preset and
+// checks that RATS still schedules and that the result is sane. The
+// 400-task and big1024 classes follow the same code path but take minutes
+// under the flow-level simulator, so the smoke stays at the small end —
+// cmd/expdriver -only big runs the full set.
+func TestBigScenarioPipelineSmoke(t *testing.T) {
+	cl := ScaleBig512.Cluster()
+	var small []Scenario
+	for _, s := range ScenariosAt(ScaleBig512) {
+		if s.Kind == Layered && s.Params.N == 200 && s.Params.Density == 0.2 {
+			small = append(small, s)
+		}
+	}
+	if len(small) < 2 {
+		t.Fatal("expected at least two small layered big512 scenarios")
+	}
+	small = small[:2]
+	r := NewRunner()
+	results, err := r.Run(small, cl, NaiveAlgos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := range results {
+		for s, res := range results[a] {
+			if res.Makespan <= 0 || res.Work <= 0 {
+				t.Fatalf("algo %d scenario %s: degenerate result %+v", a, small[s].Name(), res)
+			}
+		}
+	}
+	// The big DAGs must actually exercise the preset: the shared HCPA
+	// allocation should spread far beyond one 32-node cabinet.
+	g := small[0].Graph()
+	costs := moldable.NewCosts(g, cl.SpeedGFlops)
+	allocation := alloc.Compute(g, costs, cl, alloc.DefaultOptions())
+	maxAlloc := 0
+	for _, v := range allocation {
+		if v > maxAlloc {
+			maxAlloc = v
+		}
+	}
+	if maxAlloc <= 1 {
+		t.Fatal("big scenario never parallelizes a task — does not exercise big512")
+	}
+}

@@ -1,0 +1,56 @@
+// Package exp is the evaluation harness: it enumerates the application
+// configurations of the paper's Table III (plus production-scale
+// extensions), runs the two-step scheduling pipeline (HCPA allocation →
+// {HCPA, RATS-delta, RATS-time-cost} mapping → contended replay) over the
+// simulated clusters of Table II, and formats every figure and table of
+// §IV.
+//
+// # Scenario classes
+//
+// Each scenario class reproduces one workload family of §IV-A:
+//
+//   - Layered (108 configs) — daggen-style random DAGs where every task of
+//     a precedence level draws the same (m, a, α) cost triple: the
+//     homogeneous data-parallel phases typical of regular scientific
+//     codes. Axes: 25/50/100 tasks, width 0.2/0.5/0.8, density 0.2/0.8,
+//     regularity 0.2/0.8, three samples each.
+//
+//   - Irregular (324 configs) — the same generator with per-task costs and
+//     jump edges (length 1/2/4) that skip levels, breaking the layered
+//     structure: the adversarial case for level-based allocation caps
+//     (and the reason the paper calls MCPA applicable only to very
+//     regular DAGs).
+//
+//   - FFT (100 configs) — the k-point fast Fourier transform task graph
+//     (k = 2/4/8/16, 25 samples each): maximally regular, with butterfly
+//     stages whose width doubles level to level — the best case for
+//     allocation adoption, since consecutive stages want equal
+//     allocations.
+//
+//   - Strassen (25 configs) — the Strassen matrix-multiplication recursion:
+//     a deep series-parallel graph with seven-way fan-outs, exercising
+//     packing (many small siblings per level) rather than stretching.
+//
+// The class is the unit the tuning methodology operates on: Table IV picks
+// one (mindelta, maxdelta, minrho) triple per class, and RunDeltaSweep /
+// RunRhoSweep reproduce the per-class sweeps of Figures 4 and 5.
+//
+// # Production scales
+//
+// ScenariosAt extends the inventory beyond the paper: ScaleBig512 and
+// ScaleBig1024 enumerate 200–800-task DAGs and 32/64-point FFTs matched
+// to the synthetic big512/big1024 cluster presets, so the harness
+// exercises the scale the presets unlock (the paper-scale workloads
+// saturate at most a few cabinets of those machines). They follow the
+// same deterministic seeding as the Table III inventory.
+//
+// # Pipeline
+//
+// Runner.Run executes scenarios in parallel with per-scenario reuse of
+// the graph, the cost oracle and the shared first-step allocation;
+// replays are memoized on the schedule signature because neighbouring
+// sweep points frequently produce identical schedules. Makespans come
+// from the contention-aware simdag replay, never from the scheduler's own
+// estimates (the paper's point is precisely that those estimates ignore
+// contention).
+package exp

@@ -1,8 +1,3 @@
-// Package exp is the evaluation harness: it enumerates the paper's 557
-// application configurations (Table III), runs the two-step scheduling
-// pipeline (HCPA allocation → {HCPA, RATS-delta, RATS-time-cost} mapping →
-// contended replay) over the three Grid'5000 clusters of Table II, and
-// formats every figure and table of §IV.
 package exp
 
 import (
@@ -10,6 +5,7 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/gen"
+	"repro/internal/platform"
 	"repro/internal/xrand"
 )
 
@@ -139,6 +135,102 @@ func Scenarios() []Scenario {
 	}
 	for smp := 0; smp < strassenCount; smp++ {
 		add(Scenario{Kind: Strassen, Sample: smp})
+	}
+	return out
+}
+
+// Scale selects a size regime of the scenario inventory: the paper's
+// Table III workloads, or the production-scale classes paired with the
+// big512/big1024 cluster presets.
+type Scale int
+
+const (
+	// ScalePaper is the Table III inventory (557 configurations).
+	ScalePaper Scale = iota
+	// ScaleBig512 pairs with platform.Big512: 200–400-task DAGs and
+	// 32-point FFTs, sized so HCPA allocations actually spread across 16
+	// cabinets.
+	ScaleBig512
+	// ScaleBig1024 pairs with platform.Big1024: 400–800-task DAGs and
+	// 64-point FFTs.
+	ScaleBig1024
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	switch s {
+	case ScalePaper:
+		return "paper"
+	case ScaleBig512:
+		return "big512"
+	case ScaleBig1024:
+		return "big1024"
+	}
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
+// Cluster returns the platform preset a scale is designed to exercise.
+func (s Scale) Cluster() *platform.Cluster {
+	switch s {
+	case ScaleBig512:
+		return platform.Big512()
+	case ScaleBig1024:
+		return platform.Big1024()
+	}
+	return platform.Grillon()
+}
+
+// bigRandoms enumerates the random-DAG portion of a big scale: wider and
+// deeper graphs than Table III (the paper tops out at 100 tasks and width
+// 0.8), keeping the Table III axes that matter at scale — density drives
+// redistribution fan-in, width drives per-level contention — and fixing
+// regularity at 0.8 so level widths stay predictable.
+func bigRandoms(add func(Scenario), taskCounts []int) {
+	for _, layered := range []bool{true, false} {
+		kind, jump := Layered, 1
+		if !layered {
+			kind, jump = Irregular, 2
+		}
+		for _, n := range taskCounts {
+			for _, w := range []float64{0.5, 0.8} {
+				for _, d := range []float64{0.2, 0.8} {
+					for smp := 0; smp < 2; smp++ {
+						add(Scenario{Kind: kind, Sample: smp, Params: gen.RandomParams{
+							N: n, Width: w, Density: d, Regularity: 0.8, Jump: jump, Layered: layered,
+						}})
+					}
+				}
+			}
+		}
+	}
+}
+
+// ScenariosAt enumerates the scenario inventory of a scale. ScalePaper
+// returns Scenarios() (the 557 Table III configurations); the big scales
+// return 36 configurations each — 32 random DAGs via bigRandoms plus four
+// large FFT instances. Graph construction stays fully deterministic (the
+// seed derives from the scenario name), so big-scale results are exactly
+// reproducible like the paper-scale ones.
+func ScenariosAt(sc Scale) []Scenario {
+	if sc == ScalePaper {
+		return Scenarios()
+	}
+	var out []Scenario
+	add := func(s Scenario) {
+		s.ID = len(out)
+		out = append(out, s)
+	}
+	switch sc {
+	case ScaleBig512:
+		bigRandoms(add, []int{200, 400})
+		for smp := 0; smp < 4; smp++ {
+			add(Scenario{Kind: FFT, K: 32, Sample: smp})
+		}
+	case ScaleBig1024:
+		bigRandoms(add, []int{400, 800})
+		for smp := 0; smp < 4; smp++ {
+			add(Scenario{Kind: FFT, K: 64, Sample: smp})
+		}
 	}
 	return out
 }

@@ -1,0 +1,56 @@
+package moldable
+
+// Table is a memoized view of a Costs oracle: T(t, p) and ω(t, p) lookups
+// hit a per-task value table instead of re-evaluating the Amdahl formula.
+//
+// The allocation refinement loops evaluate the same (task, p) pairs over
+// and over — every candidate scan reads T(t, Np(t)) and T(t, Np(t)+1), and
+// allocations only ever grow by one — so the table fills itself lazily and
+// monotonically: memo[t] holds T(t, 1..len(memo[t])) and is extended on
+// first access past its current length. Memoized values are produced by
+// the exact same Model.Time evaluation Costs performs, so a Table answer
+// is bit-identical to the Costs answer for every (task, p).
+//
+// A Table is not safe for concurrent use; each allocation run creates its
+// own (the underlying Costs may be shared).
+type Table struct {
+	c    *Costs
+	memo [][]float64 // memo[t][p-1] = Time(t, p)
+}
+
+// NewTable returns an empty memo over the given cost oracle.
+func NewTable(c *Costs) *Table {
+	return &Table{c: c, memo: make([][]float64, c.N())}
+}
+
+// Time returns T(task, p), memoized. p values below 1 are clamped like
+// Costs.Time.
+func (tb *Table) Time(task, p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	row := tb.memo[task]
+	if p > len(row) {
+		if cap(row) < p {
+			grown := make([]float64, len(row), p+p/2+1)
+			copy(grown, row)
+			row = grown
+		}
+		m := tb.c.Model(task)
+		for q := len(row) + 1; q <= p; q++ {
+			row = append(row, m.Time(q))
+		}
+		tb.memo[task] = row
+	}
+	return row[p-1]
+}
+
+// Work returns ω(task, p) = p·T(task, p), computed from the memoized time
+// with the same expression as Model.Work, so it is bit-identical to
+// Costs.Work.
+func (tb *Table) Work(task, p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return float64(p) * tb.Time(task, p)
+}

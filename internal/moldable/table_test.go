@@ -1,0 +1,42 @@
+package moldable
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+)
+
+// TestTableMatchesCostsBitwise checks that memoized lookups are
+// bit-identical to the direct oracle for every (task, p), in arbitrary
+// access order — the contract the incremental allocation engine relies on.
+func TestTableMatchesCostsBitwise(t *testing.T) {
+	g := dag.NewGraph(4, 0)
+	g.AddTask(dag.Task{Name: "a", M: 50e6, A: 256, Alpha: 0.05})
+	g.AddTask(dag.Task{Name: "b", M: 10e6, A: 64, Alpha: 0.2})
+	g.AddTask(dag.Task{Name: "v", Virtual: true})
+	g.AddTask(dag.Task{Name: "c", M: 121e6, A: 512, Alpha: 0})
+	costs := NewCosts(g, 3.0)
+	tb := NewTable(costs)
+
+	// Deliberately non-monotone access order, including re-reads and the
+	// p<1 clamp.
+	order := []struct{ task, p int }{
+		{0, 7}, {0, 3}, {1, 1}, {3, 128}, {0, 7}, {2, 5}, {1, 64}, {3, 1}, {0, 0},
+	}
+	for _, a := range order {
+		if got, want := tb.Time(a.task, a.p), costs.Time(a.task, a.p); got != want {
+			t.Errorf("Time(%d,%d) = %v, want %v", a.task, a.p, got, want)
+		}
+		if got, want := tb.Work(a.task, a.p), costs.Work(a.task, a.p); got != want {
+			t.Errorf("Work(%d,%d) = %v, want %v", a.task, a.p, got, want)
+		}
+	}
+	// Exhaustive sweep after the lazy fills.
+	for task := 0; task < g.N(); task++ {
+		for p := 1; p <= 150; p++ {
+			if got, want := tb.Time(task, p), costs.Time(task, p); got != want {
+				t.Fatalf("Time(%d,%d) = %v, want %v", task, p, got, want)
+			}
+		}
+	}
+}

@@ -234,8 +234,17 @@ const (
 // processors present in both lists can produce local traffic; the others
 // fill the remaining ranks in their original relative order.
 func AlignReceivers(total float64, senders, receivers []int, mode AlignMode) []int {
+	return AlignReceiversInto(nil, total, senders, receivers, mode)
+}
+
+// AlignReceiversInto is AlignReceivers writing the aligned rank order into
+// dst (grown as needed), so hot mapping paths can recycle candidate
+// buffers instead of allocating one per evaluated placement. dst must not
+// alias receivers. The returned slice always has len(receivers) elements,
+// every one of them written.
+func AlignReceiversInto(dst []int, total float64, senders, receivers []int, mode AlignMode) []int {
 	if mode == AlignNone || len(receivers) == 0 {
-		return append([]int(nil), receivers...)
+		return append(dst[:0], receivers...)
 	}
 	senderRank := make(map[int]int, len(senders))
 	for r, p := range senders {
@@ -248,7 +257,7 @@ func AlignReceivers(total float64, senders, receivers []int, mode AlignMode) []i
 		}
 	}
 	if len(shared) == 0 {
-		return append([]int(nil), receivers...)
+		return append(dst[:0], receivers...)
 	}
 	m := BlockMatrix(total, len(senders), len(receivers))
 	q := len(receivers)
@@ -307,7 +316,12 @@ func AlignReceivers(total float64, senders, receivers []int, mode AlignMode) []i
 		}
 	}
 
-	out := make([]int, q)
+	var out []int
+	if cap(dst) >= q {
+		out = dst[:q]
+	} else {
+		out = make([]int, q)
+	}
 	taken := make([]bool, q)
 	placed := make(map[int]bool, len(rankOf))
 	for p, r := range rankOf {
