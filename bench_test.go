@@ -12,12 +12,14 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/core"
+	"repro/internal/dag"
 	"repro/internal/exp"
 	"repro/internal/gen"
 	"repro/internal/metrics"
 	"repro/internal/moldable"
 	"repro/internal/platform"
 	"repro/internal/redist"
+	"repro/internal/simdag"
 )
 
 // benchScenarios returns a small cross-class scenario sample.
@@ -558,5 +560,96 @@ func benchAblation(b *testing.B, set func(r *exp.Runner, with bool)) {
 				}
 			}
 		})
+	}
+}
+
+// simBenchScenario locates one scenario of a big-scale inventory by its
+// benchmark label.
+func simBenchScenario(sc exp.Scale, kind exp.AppKind, n int) exp.Scenario {
+	for _, s := range exp.ScenariosAt(sc) {
+		if s.Kind != kind || s.Sample != 0 {
+			continue
+		}
+		if kind == exp.FFT || (s.Params.N == n && s.Params.Width == 0.8 && s.Params.Density == 0.8) {
+			return s
+		}
+	}
+	panic("sim bench scenario not in inventory")
+}
+
+// simBenchState caches BenchmarkSim's per-scenario setup (graph,
+// schedule, reference makespan): go test re-executes the parent benchmark
+// body once per sub-benchmark, and the reference replay that anchors the
+// makespan assertion is itself seconds long at these scales.
+var simBenchState = map[string]*simBenchCase{}
+
+type simBenchCase struct {
+	g     *dag.Graph
+	costs *moldable.Costs
+	cl    *platform.Cluster
+	sched *core.Schedule
+	ref   float64
+}
+
+// BenchmarkSim replays fixed big512/big1024 schedules under contention on
+// both fluid-network engines: the incremental flownet solver (the
+// default) and the from-scratch maxmin reference it is verified against.
+// The per-(cluster, scenario) ratio is the replay speedup of the
+// incremental subsystem; cmd/benchtraj tracks its per-cluster geometric
+// mean across PRs in BENCH_sim.json together with the allocs/op ratio of
+// the steady-state recompute path. Both engines are asserted to agree on
+// the makespan within the fuzz tolerance here too — a diverging
+// "speedup" would be a simulation change, not an optimization.
+func BenchmarkSim(b *testing.B) {
+	for _, bc := range []struct {
+		scale exp.Scale
+		kind  exp.AppKind
+		n     int
+		label string
+	}{
+		{exp.ScaleBig512, exp.Layered, 200, "layered-n200"},
+		{exp.ScaleBig512, exp.Layered, 400, "layered-n400"},
+		{exp.ScaleBig512, exp.FFT, 0, "fft-k32"},
+		{exp.ScaleBig1024, exp.Layered, 400, "layered-n400"},
+		{exp.ScaleBig1024, exp.FFT, 0, "fft-k64"},
+	} {
+		bc := bc
+		for _, engine := range []struct {
+			name   string
+			solver core.FlowSolver
+		}{
+			{"flownet", core.FlowSolverNet},
+			{"maxmin", core.FlowSolverMaxMin},
+		} {
+			b.Run(fmt.Sprintf("%s/%s/%s", bc.scale.Cluster().Name, bc.label, engine.name), func(b *testing.B) {
+				key := bc.scale.String() + "/" + bc.label
+				st := simBenchState[key]
+				if st == nil {
+					cl := bc.scale.Cluster()
+					scen := simBenchScenario(bc.scale, bc.kind, bc.n)
+					g := scen.Graph()
+					costs := moldable.NewCosts(g, cl.SpeedGFlops)
+					a := alloc.Compute(g, costs, cl, alloc.DefaultOptions())
+					sched := core.Map(g, costs, cl, a, core.DefaultNaive(core.StrategyTimeCost))
+					ref, err := simdag.ExecuteOpts(g, costs, cl, sched, simdag.Options{Solver: core.FlowSolverMaxMin})
+					if err != nil {
+						b.Fatal(err)
+					}
+					st = &simBenchCase{g: g, costs: costs, cl: cl, sched: sched, ref: ref.Makespan}
+					simBenchState[key] = st
+				}
+				b.ResetTimer()
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := simdag.ExecuteOpts(st.g, st.costs, st.cl, st.sched, simdag.Options{Solver: engine.solver})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if d := res.Makespan - st.ref; d > 1e-9*st.ref || -d > 1e-9*st.ref {
+						b.Fatalf("makespan diverged: %g (%s) vs %g (reference)", res.Makespan, engine.name, st.ref)
+					}
+				}
+			})
+		}
 	}
 }

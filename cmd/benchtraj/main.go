@@ -1,18 +1,21 @@
-// Command benchtraj runs the hot-path benchmarks (allocation, mapping,
-// redistribution estimation) and appends one trajectory entry per
-// invocation to a JSON file tracked in the repository, so the performance
-// of the scheduling pipeline is recorded PR over PR instead of living in
-// commit messages.
+// Command benchtraj runs a hot-path benchmark family and appends one
+// trajectory entry per invocation to a JSON file tracked in the
+// repository, so the performance of the scheduling pipeline is recorded PR
+// over PR instead of living in commit messages.
 //
 // Usage:
 //
-//	benchtraj [-file BENCH_alloc.json] [-benchtime 3x] [-label NAME] [-smoke]
+//	benchtraj [-family alloc|sim] [-file FILE] [-benchtime 3x] [-label NAME] [-smoke]
 //
-// Each entry carries the raw ns/op / B/op / allocs/op of every hot-path
-// sub-benchmark plus a derived summary: the geometric-mean speedup of the
-// incremental allocator over the preserved full-rewalk reference, per
-// cluster preset (the headline number the incremental-allocation work is
-// held to).
+// The alloc family (default, BENCH_alloc.json) runs the allocation,
+// mapping and redistribution-estimation benchmarks; its derived summary is
+// the geometric-mean speedup of the incremental allocator over the
+// preserved full-rewalk reference, per cluster preset. The sim family
+// (BENCH_sim.json) runs the BenchmarkSim replay benches — big512/big1024
+// scenario classes replayed under both the incremental flownet engine and
+// the from-scratch maxmin reference — and derives per cluster the
+// geometric-mean replay speedup and allocation reduction of flownet over
+// the reference.
 //
 // -smoke runs the suite at -benchtime 1x and prints the entry to stdout
 // without touching the file: CI uses it to prove the wiring (benchmarks
@@ -38,38 +41,67 @@ import (
 
 // Measurement is one parsed benchmark result line.
 type Measurement struct {
-	Name     string  `json:"name"`
-	NsPerOp  float64 `json:"ns_op"`
-	BPerOp   float64 `json:"b_op,omitempty"`
-	AllocsOp float64 `json:"allocs_op,omitempty"`
+	Name      string  `json:"name"`
+	NsPerOp   float64 `json:"ns_op"`
+	BPerOp    float64 `json:"b_op,omitempty"`
+	AllocsOp  float64 `json:"allocs_op,omitempty"`
+	MallocsOp float64 `json:"mallocs_op,omitempty"`
 }
 
 // Entry is one trajectory point.
 type Entry struct {
-	Label      string             `json:"label"`
-	Commit     string             `json:"commit,omitempty"`
-	Date       string             `json:"date"`
-	GoVersion  string             `json:"go_version"`
-	Benchtime  string             `json:"benchtime"`
-	AllocSpeed map[string]float64 `json:"alloc_speedup_geomean,omitempty"`
-	Benchmarks []Measurement      `json:"benchmarks"`
+	Label         string             `json:"label"`
+	Commit        string             `json:"commit,omitempty"`
+	Date          string             `json:"date"`
+	GoVersion     string             `json:"go_version"`
+	Benchtime     string             `json:"benchtime"`
+	RecomputeTime string             `json:"recompute_benchtime,omitempty"`
+	AllocSpeed    map[string]float64 `json:"alloc_speedup_geomean,omitempty"`
+	SimSpeed      map[string]float64 `json:"sim_speedup_geomean,omitempty"`
+	SimAllocRatio map[string]float64 `json:"sim_allocs_ratio_geomean,omitempty"`
+	Benchmarks    []Measurement      `json:"benchmarks"`
 }
 
 func main() {
-	file := flag.String("file", "BENCH_alloc.json", "trajectory file to append to")
+	family := flag.String("family", "alloc", "benchmark family: alloc (allocation/mapping/estimation) or sim (flow-level replay)")
+	file := flag.String("file", "", "trajectory file to append to (default: BENCH_<family>.json)")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
 	label := flag.String("label", "", "entry label (default: current git short hash)")
-	pattern := flag.String("bench", "^(BenchmarkAlloc|BenchmarkMap|BenchmarkRedistTime)$", "benchmark pattern")
+	pattern := flag.String("bench", "", "benchmark pattern override (default: the family's pattern)")
 	smoke := flag.Bool("smoke", false, "run at -benchtime 1x and print the entry instead of appending")
 	flag.Parse()
 
-	if err := run(*file, *benchtime, *label, *pattern, *smoke); err != nil {
+	if *file == "" {
+		*file = "BENCH_" + *family + ".json"
+	}
+	switch *family {
+	case "alloc", "sim":
+	default:
+		fmt.Fprintf(os.Stderr, "benchtraj: unknown family %q (want alloc or sim)\n", *family)
+		os.Exit(1)
+	}
+	if *pattern == "" {
+		switch *family {
+		case "alloc":
+			*pattern = "^(BenchmarkAlloc|BenchmarkMap|BenchmarkRedistTime)$"
+		case "sim":
+			*pattern = "^BenchmarkSim$"
+			if *smoke {
+				// Wiring proof only: the sub-second FFT replays parse and
+				// derive identically to the full set, without the
+				// multi-minute layered replays on shared runners.
+				*pattern = "^BenchmarkSim$/.*/^fft-"
+			}
+		}
+	}
+
+	if err := run(*family, *file, *benchtime, *label, *pattern, *smoke); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtraj:", err)
 		os.Exit(1)
 	}
 }
 
-func run(file, benchtime, label, pattern string, smoke bool) error {
+func run(family, file, benchtime, label, pattern string, smoke bool) error {
 	if smoke {
 		benchtime = "1x"
 	}
@@ -91,15 +123,44 @@ func run(file, benchtime, label, pattern string, smoke bool) error {
 	if len(ms) == 0 {
 		return fmt.Errorf("no benchmark lines parsed from go test output:\n%s", out)
 	}
+	recomputeBenchtime := ""
+	if family == "sim" {
+		// The steady-state recompute microbench needs a real iteration
+		// count: replay benches run whole simulations per op, this one
+		// runs one population change per op, and the allocs/op signal
+		// only converges once the entity pools reach steady state.
+		rt := "20000x"
+		if smoke {
+			rt = "2000x"
+		}
+		rout, err := exec.Command("go", "test", "-run", "^$", "-bench", "^BenchmarkRecompute$",
+			"-benchtime", rt, "-benchmem", "./internal/sim/").CombinedOutput()
+		if err != nil {
+			return fmt.Errorf("go test -bench recompute failed: %w\n%s", err, rout)
+		}
+		rms := parseBenchOutput(string(rout))
+		if len(rms) == 0 {
+			return fmt.Errorf("no benchmark lines parsed from recompute output:\n%s", rout)
+		}
+		ms = append(ms, rms...)
+		recomputeBenchtime = rt
+	}
 
 	entry := Entry{
-		Label:      label,
-		Commit:     commit,
-		Date:       time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		Benchtime:  benchtime,
-		AllocSpeed: allocSpeedups(ms),
-		Benchmarks: ms,
+		Label:         label,
+		Commit:        commit,
+		Date:          time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		Benchtime:     benchtime,
+		RecomputeTime: recomputeBenchtime,
+		Benchmarks:    ms,
+	}
+	switch family {
+	case "alloc":
+		entry.AllocSpeed = allocSpeedups(ms)
+	case "sim":
+		entry.SimSpeed = simRatios(ms, "BenchmarkSim", func(m Measurement) float64 { return m.NsPerOp })
+		entry.SimAllocRatio = simRatios(ms, "BenchmarkRecompute", func(m Measurement) float64 { return m.MallocsOp })
 	}
 
 	if smoke {
@@ -151,6 +212,8 @@ func parseBenchOutput(out string) []Measurement {
 				m.BPerOp = v
 			case "allocs/op":
 				m.AllocsOp = v
+			case "mallocs/op":
+				m.MallocsOp = v
 			}
 		}
 		if m.NsPerOp > 0 {
@@ -203,6 +266,61 @@ func allocSpeedups(ms []Measurement) map[string]float64 {
 		return nil
 	}
 	return speed
+}
+
+// simRatios derives, per cluster, the geometric-mean ratio of the maxmin
+// reference engine over the flownet engine across a benchmark family's
+// (cluster, scenario) shapes — BenchmarkSim/<cluster>/<scenario>/<engine>
+// replays measured by ns/op give the end-to-end replay speedup,
+// BenchmarkRecompute/<cluster>/<engine> measured by exact mallocs/op
+// gives the allocation reduction on the steady-state recompute path.
+func simRatios(ms []Measurement, bench string, metric func(Measurement) float64) map[string]float64 {
+	type pair struct{ net, ref float64 }
+	pairs := map[string]map[string]*pair{} // cluster -> scenario -> values
+	for _, m := range ms {
+		parts := strings.Split(m.Name, "/")
+		if parts[0] != bench {
+			continue
+		}
+		var cluster, scen, engine string
+		switch len(parts) {
+		case 4:
+			cluster, scen, engine = parts[1], parts[2], parts[3]
+		case 3:
+			cluster, scen, engine = parts[1], "steady-churn", parts[2]
+		default:
+			continue
+		}
+		if pairs[cluster] == nil {
+			pairs[cluster] = map[string]*pair{}
+		}
+		if pairs[cluster][scen] == nil {
+			pairs[cluster][scen] = &pair{}
+		}
+		switch engine {
+		case "flownet":
+			pairs[cluster][scen].net = metric(m)
+		case "maxmin":
+			pairs[cluster][scen].ref = metric(m)
+		}
+	}
+	ratio := map[string]float64{}
+	for cluster, scens := range pairs {
+		logSum, n := 0.0, 0
+		for _, p := range scens {
+			if p.net > 0 && p.ref > 0 {
+				logSum += math.Log(p.ref / p.net)
+				n++
+			}
+		}
+		if n > 0 {
+			ratio[cluster] = math.Round(math.Exp(logSum/float64(n))*100) / 100
+		}
+	}
+	if len(ratio) == 0 {
+		return nil
+	}
+	return ratio
 }
 
 // appendEntry reads the existing trajectory (if any), appends the entry

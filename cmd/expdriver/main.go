@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	expdriver [-stride N] [-workers N] [-out DIR] [-only LIST]
+//	expdriver [-stride N] [-workers N] [-out DIR] [-only LIST] [-solver NAME]
 //
 // -stride subsamples the 557 application configurations (stride 1 = the
 // full evaluation; stride 4 keeps every 4th configuration) to bound the
@@ -19,7 +19,9 @@
 //
 // The experiment pipeline is: HCPA allocation (shared) → {HCPA baseline,
 // RATS-delta, RATS-time-cost} mapping → contention-aware replay on the
-// simulated chti / grillon / grelon clusters.
+// simulated chti / grillon / grelon clusters. -solver selects the replay's
+// rate solver: the incremental flownet engine (default) or the
+// from-scratch maxmin reference for cross-checking.
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/metrics"
 	"repro/internal/platform"
@@ -42,15 +45,16 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	outDir := flag.String("out", "results", "output directory for per-experiment files")
 	only := flag.String("only", "", "comma-separated experiment subset (default: all)")
+	solver := flag.String("solver", "flownet", "replay rate solver: flownet (incremental) or maxmin (reference)")
 	flag.Parse()
 
-	if err := run(*stride, *workers, *outDir, *only); err != nil {
+	if err := run(*stride, *workers, *outDir, *only, *solver); err != nil {
 		fmt.Fprintln(os.Stderr, "expdriver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(stride, workers int, outDir, only string) error {
+func run(stride, workers int, outDir, only, solver string) error {
 	want := map[string]bool{}
 	for _, s := range strings.Split(only, ",") {
 		if s = strings.TrimSpace(s); s != "" {
@@ -66,6 +70,14 @@ func run(stride, workers int, outDir, only string) error {
 	clusters := platform.PaperClusters()
 	runner := exp.NewRunner()
 	runner.Workers = workers
+	switch solver {
+	case "", "flownet":
+		runner.Solver = core.FlowSolverNet
+	case "maxmin", "max-min", "reference":
+		runner.Solver = core.FlowSolverMaxMin
+	default:
+		return fmt.Errorf("unknown -solver %q (want flownet or maxmin)", solver)
+	}
 	grillon := clusters[1]
 
 	emit := func(name string, render func(w io.Writer) error) error {

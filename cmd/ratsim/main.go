@@ -5,7 +5,8 @@
 // Usage:
 //
 //	ratsim [-app KIND] [-n N] [-k K] [-width W] [-density D] [-regularity R]
-//	       [-jump J] [-seed S] [-cluster NAME] [-gantt] [-algo NAME] [-json]
+//	       [-jump J] [-seed S] [-cluster NAME] [-solver NAME] [-gantt]
+//	       [-algo NAME] [-json]
 //
 // Examples:
 //
@@ -35,11 +36,12 @@ func main() {
 	gantt := flag.Bool("gantt", false, "print a Gantt chart per algorithm")
 	algoFilter := flag.String("algo", "", "run only one algorithm: hcpa, delta, time-cost")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file per algorithm (prefix)")
+	solverName := flag.String("solver", "flownet", "replay rate solver: flownet (incremental) or maxmin (reference)")
 	asJSON := flag.Bool("json", false, "emit one JSON result per algorithm instead of text")
 	flag.Parse()
 
 	if err := run(*app, *n, *k, *width, *density, *regularity, *jump, *seed,
-		*clusterName, *gantt, *algoFilter, *traceOut, *asJSON); err != nil {
+		*clusterName, *solverName, *gantt, *algoFilter, *traceOut, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "ratsim:", err)
 		os.Exit(1)
 	}
@@ -62,8 +64,12 @@ func buildDAG(app string, n, k int, width, density, regularity float64, jump int
 }
 
 func run(app string, n, k int, width, density, regularity float64, jump int, seed int64,
-	clusterName string, gantt bool, algoFilter, traceOut string, asJSON bool) error {
+	clusterName, solverName string, gantt bool, algoFilter, traceOut string, asJSON bool) error {
 	cl, err := rats.ClusterByName(clusterName)
+	if err != nil {
+		return err
+	}
+	solver, err := rats.ParseFlowSolver(solverName)
 	if err != nil {
 		return err
 	}
@@ -104,7 +110,7 @@ func run(app string, n, k int, width, density, regularity float64, jump int, see
 		if algoFilter != "" && v.strategy != only {
 			continue
 		}
-		s := rats.New(rats.WithCluster(cl), rats.WithStrategy(v.strategy))
+		s := rats.New(rats.WithCluster(cl), rats.WithStrategy(v.strategy), rats.WithFlowSolver(solver))
 		res, err := s.Schedule(d)
 		if err != nil {
 			return err

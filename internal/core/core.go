@@ -1,1 +1,22 @@
 package core
+
+import "repro/internal/sim"
+
+// FlowSolver selects the fluid-network rate solver used when a schedule is
+// replayed under contention (internal/simdag). It is re-exported here —
+// the package every layer of the pipeline already imports — so the options
+// plumbing (exp.Runner, the rats facade, the CLIs) can pick an engine
+// without depending on internal/sim directly.
+type FlowSolver = sim.Solver
+
+const (
+	// FlowSolverNet replays on the incremental internal/flownet engine:
+	// super-flow aggregation per route, bottleneck-level repair across
+	// population changes, lazy draining. The default.
+	FlowSolverNet = sim.SolverFlowNet
+	// FlowSolverMaxMin replays on the reference engine, re-solving
+	// max-min rates from scratch on every population change. Kept
+	// runnable end to end as the oracle the flownet engine is verified
+	// against.
+	FlowSolverMaxMin = sim.SolverMaxMin
+)

@@ -32,7 +32,7 @@ type Estimator struct {
 	// call returns, so the slices never need wholesale clearing.
 	outBytes []float64 // bytes leaving each sender node
 	inBytes  []float64 // bytes entering each receiver node
-	setCnt   []int     // multiset counters for the same-set fast path
+	setCnt   []int     // same-set fallback counters for P beyond the bitset range
 
 	// Memo for EdgeRedistTime, keyed by (edge ID, receiver rank order);
 	// valid for one mapping run (sender sets are fixed once mapped).
@@ -62,13 +62,19 @@ func (e *Estimator) ensureScratch() {
 	if e.outBytes == nil {
 		e.outBytes = make([]float64, e.cl.P)
 		e.inBytes = make([]float64, e.cl.P)
-		e.setCnt = make([]int, e.cl.P)
+		if e.cl.P > redist.BitsetMaxP {
+			e.setCnt = make([]int, e.cl.P)
+		}
 	}
 }
 
-// sameSet reports whether the two processor lists hold the same multiset,
-// like redist.SameSet but using the counter scratch instead of sorting.
+// sameSet is redist.SameSet with an allocation-free multiset fallback for
+// custom clusters beyond the stack-bitset range, so RedistTime stays
+// clean on the steady-state path at any P.
 func (e *Estimator) sameSet(a, b []int) bool {
+	if e.setCnt == nil {
+		return redist.SameSet(a, b)
+	}
 	if len(a) != len(b) {
 		return false
 	}

@@ -94,6 +94,10 @@ type Runner struct {
 	// AllocOptions configures the shared first step (default: HCPA with
 	// edge costs in the critical path).
 	AllocOptions alloc.Options
+	// Solver selects the replay's fluid-network engine (default: the
+	// incremental flownet solver; core.FlowSolverMaxMin runs the
+	// from-scratch reference).
+	Solver core.FlowSolver
 }
 
 // NewRunner returns a Runner with the paper's defaults.
@@ -130,7 +134,7 @@ func (r *Runner) Run(scens []Scenario, cl *platform.Cluster, algos []AlgoSpec) (
 			sig := scheduleSignature(sched)
 			makespan, hit := cache[sig]
 			if !hit {
-				res, err := simdag.Execute(g, costs, cl, sched)
+				res, err := simdag.ExecuteOpts(g, costs, cl, sched, simdag.Options{Solver: r.Solver})
 				if err != nil {
 					errs[i] = fmt.Errorf("scenario %s / %s: %w", scens[i].Name(), spec.Name, err)
 					return

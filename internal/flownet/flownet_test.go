@@ -1,0 +1,270 @@
+package flownet
+
+import (
+	"math"
+	"testing"
+)
+
+const eps = 1e-6
+
+func solveRates(n *Net, ids []int) []float64 {
+	n.Solve()
+	out := make([]float64, len(ids))
+	for i, id := range ids {
+		out[i] = n.Rate(id)
+	}
+	return out
+}
+
+func TestSingleFlow(t *testing.T) {
+	n := New([]float64{100})
+	id := n.Start([]int{0}, 0, 1000)
+	n.Solve()
+	if got := n.Rate(id); got != 100 {
+		t.Errorf("rate = %g, want 100", got)
+	}
+	if got := n.Remaining(id); got != 1000 {
+		t.Errorf("remaining = %g, want 1000", got)
+	}
+}
+
+func TestEqualSharingAggregates(t *testing.T) {
+	// Four identical flows must collapse into one weighted entity and each
+	// run at a quarter of the link.
+	n := New([]float64{100})
+	ids := []int{
+		n.Start([]int{0}, 0, 10),
+		n.Start([]int{0}, 0, 20),
+		n.Start([]int{0}, 0, 30),
+		n.Start([]int{0}, 0, 40),
+	}
+	if n.Entities() != 1 {
+		t.Fatalf("entities = %d, want 1 (identical routes must aggregate)", n.Entities())
+	}
+	for i, r := range solveRates(n, ids) {
+		if math.Abs(r-25) > 1e-9 {
+			t.Errorf("rate[%d] = %g, want 25", i, r)
+		}
+	}
+}
+
+func TestParkingLot(t *testing.T) {
+	// Classic dumbbell: A over links 0+1, B over 0, C over 1. Link 0 has
+	// capacity 10, link 1 has 100: A=B=5, C=95.
+	n := New([]float64{10, 100})
+	ids := []int{
+		n.Start([]int{0, 1}, 0, 1),
+		n.Start([]int{0}, 0, 1),
+		n.Start([]int{1}, 0, 1),
+	}
+	want := []float64{5, 5, 95}
+	for i, r := range solveRates(n, ids) {
+		if math.Abs(r-want[i]) > 1e-9 {
+			t.Errorf("rate[%d] = %g, want %g", i, r, want[i])
+		}
+	}
+}
+
+func TestRateCapAndCapless(t *testing.T) {
+	n := New([]float64{100})
+	a := n.Start([]int{0}, 10, 1)
+	b := n.Start([]int{0}, 0, 1)
+	if n.Entities() != 2 {
+		t.Fatalf("entities = %d, want 2 (different caps must not aggregate)", n.Entities())
+	}
+	n.Solve()
+	if ra, rb := n.Rate(a), n.Rate(b); math.Abs(ra-10) > 1e-9 || math.Abs(rb-90) > 1e-9 {
+		t.Errorf("rates = %g/%g, want 10/90", ra, rb)
+	}
+}
+
+func TestEmptyRoute(t *testing.T) {
+	n := New([]float64{1})
+	free := n.Start(nil, 0, 1)
+	capped := n.Start(nil, 42, 1)
+	n.Solve()
+	if !math.IsInf(n.Rate(free), 1) {
+		t.Errorf("rate of unconstrained flow = %g, want +Inf", n.Rate(free))
+	}
+	if n.Rate(capped) != 42 {
+		t.Errorf("rate of capped self-flow = %g, want 42", n.Rate(capped))
+	}
+}
+
+func TestRepeatedLinkCountsTwice(t *testing.T) {
+	// A route visiting the same link twice consumes double bandwidth on
+	// it, exactly like the reference solver's per-occurrence counters.
+	n := New([]float64{100})
+	id := n.Start([]int{0, 0}, 0, 1)
+	n.Solve()
+	if r := n.Rate(id); math.Abs(r-50) > 1e-9 {
+		t.Errorf("rate = %g, want 50 (two traversals share one link)", r)
+	}
+	n.Remove(id)
+	other := n.Start([]int{0}, 0, 1)
+	n.Solve()
+	if r := n.Rate(other); math.Abs(r-100) > 1e-9 {
+		t.Errorf("rate after removal = %g, want 100", r)
+	}
+}
+
+func TestRemoveResharesBandwidth(t *testing.T) {
+	n := New([]float64{100})
+	a := n.Start([]int{0}, 0, 1)
+	b := n.Start([]int{0}, 0, 1)
+	n.Solve()
+	if r := n.Rate(a); math.Abs(r-50) > 1e-9 {
+		t.Fatalf("rate = %g, want 50", r)
+	}
+	n.Remove(b)
+	n.Solve()
+	if r := n.Rate(a); math.Abs(r-100) > 1e-9 {
+		t.Errorf("rate after removal = %g, want 100", r)
+	}
+	if n.Flows() != 1 || n.Entities() != 1 {
+		t.Errorf("population = %d flows / %d entities, want 1/1", n.Flows(), n.Entities())
+	}
+}
+
+func TestDrainAndCompletionOrder(t *testing.T) {
+	// Two members of one entity complete in volume order; a later third
+	// member's baseline accounts for what already drained.
+	n := New([]float64{100})
+	a := n.Start([]int{0}, 0, 100) // drains at rate 50 alongside b
+	b := n.Start([]int{0}, 0, 200)
+	n.Solve()
+	if d := n.NextDeadline(0); math.Abs(d-2) > 1e-9 {
+		t.Fatalf("deadline = %g, want 2 (100 bytes at 50 B/s)", d)
+	}
+	n.Advance(2)
+	var got []int
+	n.PopDrained(2, eps, func(id int) { got = append(got, id) })
+	if len(got) != 1 || got[0] != a {
+		t.Fatalf("completed %v, want [%d]", got, a)
+	}
+	n.Solve() // b alone now: rate 100, 100 bytes left
+	if r := n.Remaining(b); math.Abs(r-100) > 1e-9 {
+		t.Fatalf("remaining = %g, want 100", r)
+	}
+	c := n.Start([]int{0}, 0, 30) // joins b's entity mid-drain
+	n.Solve()
+	d := n.NextDeadline(2) // c (30 bytes at 50 B/s) finishes first, at 2.6
+	if math.Abs(d-2.6) > 1e-9 {
+		t.Fatalf("deadline = %g, want 2.6", d)
+	}
+	n.Advance(d - 2)
+	got = got[:0]
+	n.PopDrained(d, eps, func(id int) { got = append(got, id) })
+	if len(got) != 1 || got[0] != c {
+		t.Fatalf("completed %v, want [%d]", got, c)
+	}
+}
+
+func TestPopDrainedArrivalOrderAcrossEntities(t *testing.T) {
+	// Simultaneous completions are yielded in arrival order even when they
+	// belong to different entities.
+	n := New([]float64{100, 100})
+	a := n.Start([]int{0}, 0, 100)
+	b := n.Start([]int{1}, 0, 100)
+	c := n.Start([]int{0}, 0, 100)
+	n.Solve()
+	n.Advance(2) // everything drained
+	var got []int
+	n.PopDrained(2, eps, func(id int) { got = append(got, id) })
+	want := []int{a, b, c}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("completion order %v, want %v", got, want)
+	}
+	if n.Flows() != 0 || n.Entities() != 0 {
+		t.Fatalf("population %d/%d after drain, want 0/0", n.Flows(), n.Entities())
+	}
+}
+
+func TestSubULPResidueDrains(t *testing.T) {
+	// A residue whose drain time cannot advance the clock by one ULP must
+	// complete (the engine's livelock guard).
+	n := New([]float64{1e8})
+	id := n.Start([]int{0}, 0, 1) // 1 byte at 1e8 B/s: 1e-8 s << ULP(1e9)
+	n.Solve()
+	popped := false
+	n.PopDrained(1e9, eps, func(got int) { popped = got == id })
+	if !popped {
+		t.Fatal("sub-ULP residue did not complete")
+	}
+}
+
+func TestDefensiveFreezeAtZero(t *testing.T) {
+	// Infinite-capacity links yield +Inf shares that never win the strict
+	// minimum test: the fill must freeze capped entities at their caps and
+	// the rest at 0 rather than leave stale rates behind.
+	n := New([]float64{math.Inf(1)})
+	a := n.Start([]int{0}, 0, 1)
+	b := n.Start([]int{0}, 7, 1)
+	n.Solve()
+	if r := n.Rate(a); r != 0 {
+		t.Errorf("uncapped flow on infinite link: rate = %g, want 0 (deterministic freeze)", r)
+	}
+	if r := n.Rate(b); r != 7 {
+		t.Errorf("capped flow on infinite link: rate = %g, want its cap 7", r)
+	}
+	// The defensive path drops the log; the next solve must recover.
+	c := n.Start([]int{0}, 3, 1)
+	n.Solve()
+	if r := n.Rate(c); r != 3 {
+		t.Errorf("post-defensive solve: rate = %g, want 3", r)
+	}
+}
+
+func TestIncrementalPathIsExercised(t *testing.T) {
+	// A big population with small follow-up changes must take the
+	// incremental path, not re-solve from scratch every time.
+	caps := make([]float64, 64)
+	for i := range caps {
+		caps[i] = 100
+	}
+	n := New(caps)
+	var ids []int
+	for i := 0; i < 64; i++ {
+		ids = append(ids, n.Start([]int{i, (i + 7) % 64}, 55, 1))
+	}
+	n.Solve()
+	if n.FullSolves() != 1 {
+		t.Fatalf("full solves = %d, want 1", n.FullSolves())
+	}
+	for i := 0; i < 16; i++ {
+		n.Remove(ids[i])
+		n.Solve()
+	}
+	if n.IncrementalSolves() == 0 {
+		t.Error("small removals never took the incremental path")
+	}
+	if n.FullSolves() != 1 {
+		t.Errorf("full solves = %d after small removals, want still 1", n.FullSolves())
+	}
+}
+
+func TestEntityReuseAfterChurn(t *testing.T) {
+	// Stress the free lists: repeated start/complete cycles over the same
+	// routes must keep the population bookkeeping consistent.
+	n := New([]float64{100, 100, 100, 100})
+	for round := 0; round < 50; round++ {
+		var ids []int
+		for i := 0; i < 12; i++ {
+			ids = append(ids, n.Start([]int{i % 4, (i + 1) % 4}, 0, float64(10*(i+1))))
+		}
+		n.Solve()
+		for n.Flows() > 0 {
+			n.Solve()
+			d := n.NextDeadline(0)
+			if math.IsInf(d, 1) {
+				t.Fatal("stalled population")
+			}
+			n.Advance(d)
+			n.PopDrained(d, eps, func(int) {})
+		}
+		if n.Entities() != 0 {
+			t.Fatalf("round %d: %d entities leaked", round, n.Entities())
+		}
+		_ = ids
+	}
+}

@@ -24,6 +24,7 @@
 package redist
 
 import (
+	"math/bits"
 	"sort"
 
 	"repro/internal/assign"
@@ -197,13 +198,58 @@ func RemoteBytes(total float64, senders, receivers []int) float64 {
 	return total - LocalBytes(total, senders, receivers)
 }
 
+// setWords sizes the stack bitsets used for processor-set comparisons:
+// P ≤ 1024 fits in 16 machine words, covering every preset up to big1024.
+const setWords = 16
+
+// BitsetMaxP is the largest processor id (exclusive) the stack bitsets
+// cover; callers with bigger custom clusters need their own fallback to
+// stay allocation-free (the generic paths here allocate).
+const BitsetMaxP = setWords * 64
+
+// bitset1024 is a fixed-size processor bitset. add reports whether the
+// processor was newly inserted; an out-of-range id reports false with ok
+// unset, routing the caller to the generic fallback.
+type bitset1024 [setWords]uint64
+
+func (s *bitset1024) add(p int) (fresh, ok bool) {
+	if uint(p) >= setWords*64 {
+		return false, false
+	}
+	w, bit := p>>6, uint64(1)<<(p&63)
+	if s[w]&bit != 0 {
+		return false, true
+	}
+	s[w] |= bit
+	return true, true
+}
+
 // SameSet reports whether two processor lists contain the same processors
 // (as sets). Together with equal lengths this is the paper's zero-cost
-// redistribution condition.
+// redistribution condition. Duplicate-free lists with processor ids below
+// 1024 — every list the schedulers produce — compare branch-free through
+// stack bitsets; anything else takes the sort-based multiset path.
 func SameSet(a, b []int) bool {
 	if len(a) != len(b) {
 		return false
 	}
+	var aw, bw bitset1024
+	for _, p := range a {
+		if fresh, ok := aw.add(p); !fresh || !ok {
+			return sameMultiset(a, b)
+		}
+	}
+	for _, p := range b {
+		if fresh, ok := bw.add(p); !fresh || !ok {
+			return sameMultiset(a, b)
+		}
+	}
+	return aw == bw
+}
+
+// sameMultiset is the general sort-based comparison, kept for duplicated
+// entries and out-of-range ids (custom clusters beyond 1024 processors).
+func sameMultiset(a, b []int) bool {
 	as := append([]int(nil), a...)
 	bs := append([]int(nil), b...)
 	sort.Ints(as)
@@ -214,6 +260,44 @@ func SameSet(a, b []int) bool {
 		}
 	}
 	return true
+}
+
+// Overlap counts the distinct processors present in both lists, branch-
+// free via word-wise intersection popcounts when the ids fit the stack
+// bitsets (falling back to a map for exotic inputs). AlignReceivers uses
+// it to skip alignment work for disjoint sender/receiver sets.
+func Overlap(a, b []int) int {
+	var aw, bw bitset1024
+	for _, p := range a {
+		if _, ok := aw.add(p); !ok {
+			return overlapGeneric(a, b)
+		}
+	}
+	for _, p := range b {
+		if _, ok := bw.add(p); !ok {
+			return overlapGeneric(a, b)
+		}
+	}
+	n := 0
+	for w := range aw {
+		n += bits.OnesCount64(aw[w] & bw[w])
+	}
+	return n
+}
+
+func overlapGeneric(a, b []int) int {
+	in := make(map[int]bool, len(a))
+	for _, p := range a {
+		in[p] = true
+	}
+	n := 0
+	for _, p := range b {
+		if in[p] {
+			n++
+			in[p] = false
+		}
+	}
+	return n
 }
 
 // AlignMode selects how AlignReceivers orders the receiver ranks.
@@ -244,6 +328,11 @@ func AlignReceivers(total float64, senders, receivers []int, mode AlignMode) []i
 // every one of them written.
 func AlignReceiversInto(dst []int, total float64, senders, receivers []int, mode AlignMode) []int {
 	if mode == AlignNone || len(receivers) == 0 {
+		return append(dst[:0], receivers...)
+	}
+	if Overlap(senders, receivers) == 0 {
+		// Disjoint sets cannot keep any byte local: nothing to align, and
+		// the bitset test skips the rank map and matrix entirely.
 		return append(dst[:0], receivers...)
 	}
 	senderRank := make(map[int]int, len(senders))

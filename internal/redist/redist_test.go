@@ -131,6 +131,96 @@ func TestSameSetFreeRedistribution(t *testing.T) {
 	}
 }
 
+// TestSameSetBitsetAgreesWithMultiset cross-checks the branch-free bitset
+// comparison against the sort-based multiset semantics on random lists,
+// including the fallback triggers: duplicated entries and ids ≥ 1024.
+func TestSameSetBitsetAgreesWithMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	randList := func(n, span int, dup bool) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = rng.Intn(span)
+		}
+		if !dup { // make entries distinct by offsetting collisions
+			seen := map[int]bool{}
+			for i := range out {
+				for seen[out[i]] {
+					out[i] = (out[i] + 1) % span
+				}
+				seen[out[i]] = true
+			}
+		}
+		return out
+	}
+	for trial := 0; trial < 2000; trial++ {
+		span := 40
+		if trial%5 == 0 {
+			span = 5000 // out of bitset range: generic path
+		}
+		n := 1 + rng.Intn(12)
+		a := randList(n, span, trial%3 == 0)
+		var b []int
+		switch trial % 4 {
+		case 0: // permutation of a
+			b = append([]int(nil), a...)
+			rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+		case 1: // one entry perturbed
+			b = append([]int(nil), a...)
+			b[rng.Intn(len(b))]++
+		default:
+			b = randList(n, span, trial%3 == 0)
+		}
+		if got, want := SameSet(a, b), sameMultiset(a, b); got != want {
+			t.Fatalf("SameSet(%v, %v) = %v, multiset says %v", a, b, got, want)
+		}
+	}
+	// Length mismatch short-circuits.
+	if SameSet([]int{1, 2}, []int{1, 2, 3}) {
+		t.Error("SameSet must reject different lengths")
+	}
+	// Duplicates must stay multiset-compared: same set, same length,
+	// different multiplicities.
+	if SameSet([]int{1, 1, 2}, []int{1, 2, 2}) {
+		t.Error("SameSet must distinguish multiplicities")
+	}
+}
+
+func TestOverlapCounts(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want int
+	}{
+		{[]int{0, 1, 2, 3}, []int{2, 3, 4, 5}, 2},
+		{[]int{0, 1}, []int{2, 3}, 0},
+		{[]int{5, 9, 1023}, []int{1023, 5, 9}, 3},
+		{nil, []int{1}, 0},
+		{[]int{2000, 1, 3000}, []int{3000, 7}, 1}, // generic fallback
+	}
+	for _, c := range cases {
+		if got := Overlap(c.a, c.b); got != c.want {
+			t.Errorf("Overlap(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Overlap(c.b, c.a); got != c.want {
+			t.Errorf("Overlap(%v, %v) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestAlignReceiversDisjointFastPath(t *testing.T) {
+	// Disjoint sender/receiver sets keep the receiver order untouched —
+	// the bitset early exit must agree with the full alignment machinery.
+	senders := []int{0, 1, 2}
+	receivers := []int{10, 11, 12, 13}
+	for _, mode := range []AlignMode{AlignHungarian, AlignGreedy} {
+		got := AlignReceivers(30, senders, receivers, mode)
+		for i, p := range got {
+			if p != receivers[i] {
+				t.Fatalf("mode %d: disjoint alignment reordered receivers: %v", mode, got)
+			}
+		}
+	}
+}
+
 func TestAlignReceiversRecoversIdentity(t *testing.T) {
 	// Receiver set equals sender set but scrambled; alignment must recover
 	// the fully-local order.

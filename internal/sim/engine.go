@@ -1,9 +1,10 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+
+	"repro/internal/flownet"
 )
 
 // completionEps is the residual byte count below which a fluid flow is
@@ -11,33 +12,64 @@ import (
 // a micro-byte tolerance is safely below any meaningful volume.
 const completionEps = 1e-6
 
+// Solver selects the fluid-network rate solver backing an Engine.
+type Solver int
+
+const (
+	// SolverFlowNet is the incremental internal/flownet engine: route
+	// aggregation into weighted super-flows, bottleneck-level repair
+	// across population changes, lazy draining. The default.
+	SolverFlowNet Solver = iota
+	// SolverMaxMin re-solves max-min rates from scratch on every
+	// population change with the reference MaxMin solver and tracks each
+	// flow individually. It is the oracle the flownet engine is tested
+	// against, and stays runnable end to end.
+	SolverMaxMin
+)
+
+// String implements fmt.Stringer.
+func (s Solver) String() string {
+	switch s {
+	case SolverFlowNet:
+		return "flownet"
+	case SolverMaxMin:
+		return "maxmin"
+	}
+	return fmt.Sprintf("Solver(%d)", int(s))
+}
+
 // Engine is the discrete-event core: a virtual clock, a timer queue and a
-// set of active fluid flows whose rates are re-solved with MaxMin whenever
-// the flow population changes.
+// set of active fluid flows whose rates are re-solved whenever the flow
+// population changes, by the flow pool selected at construction.
 //
 // The zero value is not usable; create engines with New. Engines are not
 // safe for concurrent use (simulations are single-threaded; parallelism in
 // the experiment harness is across independent engines).
 type Engine struct {
-	now      float64
-	linkCaps []float64
-	flows    []*flow
-	timers   timerHeap
-	seq      int64
-	dirty    bool // flow set changed; rates must be recomputed
-
-	// Scratch buffers reused across rate recomputations.
-	solver     maxMinSolver
-	scratchLnk [][]int
-	scratchCap []float64
+	now    float64
+	timers timerHeap
+	seq    int64
+	pool   flowPool
 }
 
-type flow struct {
-	links     []int
-	rateCap   float64
-	remaining float64
-	rate      float64
-	done      func()
+// flowPool owns the in-flight fluid flows: their rates, their residual
+// volumes, and the completion bookkeeping. The Engine drives it through
+// this interface so the incremental flownet pool and the reference
+// from-scratch max-min pool replay identically structured event loops.
+type flowPool interface {
+	start(links []int, rateCap, bytes float64, done func())
+	count() int
+	dirty() bool
+	recompute()
+	// popDrained completes every drained flow at time now, firing their
+	// callbacks in arrival order after the pool's own bookkeeping is
+	// consistent (callbacks may start new flows). Reports whether any
+	// flow completed.
+	popDrained(now float64) bool
+	// next returns the absolute time of the earliest flow completion
+	// after now (+Inf when no flow is draining).
+	next(now float64) float64
+	advance(dt float64)
 }
 
 type timer struct {
@@ -46,28 +78,74 @@ type timer struct {
 	fn  func()
 }
 
+// timerHeap is a concrete binary min-heap by (at, seq): container/heap
+// would box every timer through interface{} on push and pop, one
+// allocation each, which at big-cluster replay scales is a third of the
+// replay's allocation volume.
 type timerHeap []timer
 
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
+func (h timerHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timer)) }
-func (h *timerHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *timerHeap) push(t timer) {
+	*h = append(*h, t)
+	hh := *h
+	i := len(hh) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !hh.less(i, p) {
+			break
+		}
+		hh[i], hh[p] = hh[p], hh[i]
+		i = p
+	}
 }
 
-// New creates an engine over links with the given capacities (bytes/s).
+func (h *timerHeap) pop() timer {
+	hh := *h
+	top := hh[0]
+	last := len(hh) - 1
+	hh[0] = hh[last]
+	*h = hh[:last]
+	hh = hh[:last]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= len(hh) {
+			break
+		}
+		if r := c + 1; r < len(hh) && hh.less(r, c) {
+			c = r
+		}
+		if !hh.less(c, i) {
+			break
+		}
+		hh[i], hh[c] = hh[c], hh[i]
+		i = c
+	}
+	return top
+}
+
+// New creates an engine over links with the given capacities (bytes/s),
+// backed by the default flownet solver.
 func New(linkCaps []float64) *Engine {
-	return &Engine{linkCaps: linkCaps}
+	return NewWithSolver(linkCaps, SolverFlowNet)
+}
+
+// NewWithSolver creates an engine with an explicit rate solver choice.
+func NewWithSolver(linkCaps []float64, solver Solver) *Engine {
+	e := &Engine{}
+	switch solver {
+	case SolverMaxMin:
+		e.pool = &maxminPool{linkCaps: linkCaps}
+	default:
+		e.pool = &netPool{net: flownet.New(linkCaps)}
+	}
+	return e
 }
 
 // Now returns the current virtual time in seconds.
@@ -79,7 +157,7 @@ func (e *Engine) At(t float64, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.timers, timer{at: t, seq: e.seq, fn: fn})
+	e.timers.push(timer{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d seconds from now.
@@ -96,42 +174,11 @@ func (e *Engine) StartFlow(links []int, rateCap, latency, bytes float64, done fu
 		e.After(latency, done)
 		return
 	}
-	e.After(latency, func() {
-		e.flows = append(e.flows, &flow{
-			links: links, rateCap: rateCap, remaining: bytes, done: done,
-		})
-		e.dirty = true
-	})
+	e.After(latency, func() { e.pool.start(links, rateCap, bytes, done) })
 }
 
 // ActiveFlows returns the number of in-flight fluid flows (post-latency).
-func (e *Engine) ActiveFlows() int { return len(e.flows) }
-
-// recompute re-solves the max-min rate allocation.
-func (e *Engine) recompute() {
-	n := len(e.flows)
-	if cap(e.scratchLnk) < n {
-		e.scratchLnk = make([][]int, n)
-		e.scratchCap = make([]float64, n)
-	}
-	flowLinks := e.scratchLnk[:n]
-	flowCaps := e.scratchCap[:n]
-	for i, f := range e.flows {
-		flowLinks[i] = f.links
-		flowCaps[i] = f.rateCap
-	}
-	rates := e.solver.Solve(e.linkCaps, flowLinks, flowCaps)
-	// Release the link-slice references once solved: as the flow population
-	// shrinks, slots past the next n would otherwise pin completed flows'
-	// link slices for the rest of a long simulation.
-	for i := range flowLinks {
-		flowLinks[i] = nil
-	}
-	for i, f := range e.flows {
-		f.rate = rates[i]
-	}
-	e.dirty = false
-}
+func (e *Engine) ActiveFlows() int { return e.pool.count() }
 
 // Run advances the simulation until no events remain. It returns the final
 // virtual time. Run panics if the simulation cannot make progress (a flow
@@ -139,71 +186,187 @@ func (e *Engine) recompute() {
 // link in the platform description.
 func (e *Engine) Run() float64 {
 	for {
-		if e.dirty {
-			e.recompute()
+		if e.pool.dirty() {
+			e.pool.recompute()
 		}
 		// Complete drained flows first. A flow also counts as drained when
 		// its residual volume cannot advance the clock by even one ULP
 		// (now + remaining/rate == now): letting such residues linger
 		// would livelock the loop below.
-		kept := e.flows[:0]
-		var completed []*flow
-		for _, f := range e.flows {
-			drained := f.remaining <= completionEps ||
-				(f.rate > 0 && e.now+f.remaining/f.rate <= e.now)
-			if drained {
-				completed = append(completed, f)
-			} else {
-				kept = append(kept, f)
-			}
-		}
-		if len(completed) > 0 {
-			e.flows = kept
-			e.dirty = true
-			for _, f := range completed {
-				if f.done != nil {
-					f.done()
-				}
-			}
+		if e.pool.popDrained(e.now) {
 			continue
 		}
 		// Next flow completion and next timer.
-		tFlow := math.Inf(1)
-		for _, f := range e.flows {
-			if f.rate <= 0 {
-				continue
-			}
-			if t := e.now + f.remaining/f.rate; t < tFlow {
-				tFlow = t
-			}
-		}
+		tFlow := e.pool.next(e.now)
 		tTimer := math.Inf(1)
 		if len(e.timers) > 0 {
 			tTimer = e.timers[0].at
 		}
 		t := math.Min(tFlow, tTimer)
 		if math.IsInf(t, 1) {
-			if len(e.flows) > 0 {
-				panic(fmt.Sprintf("sim: %d flows stalled with zero rate at t=%g", len(e.flows), e.now))
+			if e.pool.count() > 0 {
+				panic(fmt.Sprintf("sim: %d flows stalled with zero rate at t=%g", e.pool.count(), e.now))
 			}
 			return e.now
 		}
 		// Drain flows up to t; completions are handled at the top of the
 		// next iteration.
 		if t > e.now {
-			dt := t - e.now
-			for _, f := range e.flows {
-				f.remaining -= f.rate * dt
-				if f.remaining < 0 {
-					f.remaining = 0
-				}
-			}
+			e.pool.advance(t - e.now)
 			e.now = t
 		}
 		// Fire due timers.
 		for len(e.timers) > 0 && e.timers[0].at <= e.now {
-			it := heap.Pop(&e.timers).(timer)
+			it := e.timers.pop()
 			it.fn()
+		}
+	}
+}
+
+// netPool backs the engine with the incremental flownet subsystem. Flow
+// volumes, rates and completion order live in the Net; the pool only maps
+// flownet member ids back to completion callbacks.
+type netPool struct {
+	net    *flownet.Net
+	done   []func() // indexed by flownet member id (ids are recycled)
+	firing []func() // scratch: callbacks of the current completion batch
+}
+
+func (p *netPool) start(links []int, rateCap, bytes float64, done func()) {
+	id := p.net.Start(links, rateCap, bytes)
+	for id >= len(p.done) {
+		p.done = append(p.done, nil)
+	}
+	p.done[id] = done
+}
+
+func (p *netPool) count() int               { return p.net.Flows() }
+func (p *netPool) dirty() bool              { return p.net.Dirty() }
+func (p *netPool) recompute()               { p.net.Solve() }
+func (p *netPool) advance(dt float64)       { p.net.Advance(dt) }
+func (p *netPool) next(now float64) float64 { return p.net.NextDeadline(now) }
+
+func (p *netPool) popDrained(now float64) bool {
+	p.firing = p.firing[:0]
+	completed := p.net.PopDrained(now, completionEps, func(id int) {
+		p.firing = append(p.firing, p.done[id])
+		p.done[id] = nil
+	})
+	if !completed {
+		return false
+	}
+	for i, fn := range p.firing {
+		p.firing[i] = nil
+		if fn != nil {
+			fn()
+		}
+	}
+	return true
+}
+
+// maxminPool is the reference pool: one record per flow, rates re-solved
+// from scratch by MaxMin on every population change.
+type maxminPool struct {
+	linkCaps []float64
+	flows    []*flow
+	stale    bool // flow set changed; rates must be recomputed
+
+	// Scratch buffers reused across rate recomputations.
+	solver     maxMinSolver
+	scratchLnk [][]int
+	scratchCap []float64
+	firing     []*flow
+}
+
+type flow struct {
+	links     []int
+	rateCap   float64
+	remaining float64
+	rate      float64
+	done      func()
+}
+
+func (p *maxminPool) start(links []int, rateCap, bytes float64, done func()) {
+	p.flows = append(p.flows, &flow{
+		links: links, rateCap: rateCap, remaining: bytes, done: done,
+	})
+	p.stale = true
+}
+
+func (p *maxminPool) count() int { return len(p.flows) }
+
+func (p *maxminPool) dirty() bool { return p.stale }
+
+// recompute re-solves the max-min rate allocation from scratch.
+func (p *maxminPool) recompute() {
+	n := len(p.flows)
+	if cap(p.scratchLnk) < n {
+		p.scratchLnk = make([][]int, n)
+		p.scratchCap = make([]float64, n)
+	}
+	flowLinks := p.scratchLnk[:n]
+	flowCaps := p.scratchCap[:n]
+	for i, f := range p.flows {
+		flowLinks[i] = f.links
+		flowCaps[i] = f.rateCap
+	}
+	rates := p.solver.Solve(p.linkCaps, flowLinks, flowCaps)
+	// Release the link-slice references once solved: as the flow population
+	// shrinks, slots past the next n would otherwise pin completed flows'
+	// link slices for the rest of a long simulation.
+	for i := range flowLinks {
+		flowLinks[i] = nil
+	}
+	for i, f := range p.flows {
+		f.rate = rates[i]
+	}
+	p.stale = false
+}
+
+func (p *maxminPool) popDrained(now float64) bool {
+	kept := p.flows[:0]
+	p.firing = p.firing[:0]
+	for _, f := range p.flows {
+		drained := f.remaining <= completionEps ||
+			(f.rate > 0 && now+f.remaining/f.rate <= now)
+		if drained {
+			p.firing = append(p.firing, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	if len(p.firing) == 0 {
+		return false
+	}
+	p.flows = kept
+	p.stale = true
+	for i, f := range p.firing {
+		p.firing[i] = nil
+		if f.done != nil {
+			f.done()
+		}
+	}
+	return true
+}
+
+func (p *maxminPool) next(now float64) float64 {
+	t := math.Inf(1)
+	for _, f := range p.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		if tt := now + f.remaining/f.rate; tt < t {
+			t = tt
+		}
+	}
+	return t
+}
+
+func (p *maxminPool) advance(dt float64) {
+	for _, f := range p.flows {
+		f.remaining -= f.rate * dt
+		if f.remaining < 0 {
+			f.remaining = 0
 		}
 	}
 }

@@ -144,21 +144,22 @@ func TestEngineReportsActiveFlows(t *testing.T) {
 
 func TestRecomputeReleasesScratchReferences(t *testing.T) {
 	// Start many concurrent flows, then let the population shrink to zero:
-	// the rate-recomputation scratch must not keep pointing at completed
-	// flows' link slices, which would pin them for the rest of a long
-	// simulation.
-	e := New([]float64{100, 100, 100})
+	// the rate-recomputation scratch of the reference pool must not keep
+	// pointing at completed flows' link slices, which would pin them for
+	// the rest of a long simulation.
+	e := NewWithSolver([]float64{100, 100, 100}, SolverMaxMin)
 	for i := 0; i < 8; i++ {
 		links := []int{i % 3}
 		e.StartFlow(links, 0, 0, float64(100*(i+1)), nil)
 	}
 	e.Run()
-	for i, l := range e.scratchLnk {
+	p := e.pool.(*maxminPool)
+	for i, l := range p.scratchLnk {
 		if l != nil {
 			t.Fatalf("scratchLnk[%d] still references a link slice after Run", i)
 		}
 	}
-	if cap(e.scratchLnk) < 8 {
-		t.Fatalf("scratch capacity %d, want ≥ 8 (buffer should be reused, not dropped)", cap(e.scratchLnk))
+	if cap(p.scratchLnk) < 8 {
+		t.Fatalf("scratch capacity %d, want ≥ 8 (buffer should be reused, not dropped)", cap(p.scratchLnk))
 	}
 }

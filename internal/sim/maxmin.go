@@ -168,9 +168,13 @@ func (s *maxMinSolver) Solve(linkCaps []float64, flowLinks [][]int, flowCaps []f
 				}
 			}
 		default:
-			// Only capped flows remain whose caps exceed any link share —
-			// impossible unless unfixed flows have no active links left;
-			// freeze them at their caps.
+			// Defensive no-progress path: no link share beats +Inf (links
+			// with infinite capacity never win the strict minimum test)
+			// and no capped flow is pending. Freeze the remaining capped
+			// flows at their caps, then everything still unfixed at 0 —
+			// the rates slice is reused scratch, so leaving stragglers
+			// unwritten would silently hand back stale rates from a
+			// previous solve.
 			for capPtr < len(s.capOrder) {
 				f := s.capOrder[capPtr]
 				if !s.fixed[f] {
@@ -178,9 +182,12 @@ func (s *maxMinSolver) Solve(linkCaps []float64, flowLinks [][]int, flowCaps []f
 				}
 				capPtr++
 			}
-			if unfixed > 0 {
-				return rates // defensive: no progress possible
+			for f := 0; f < nf && unfixed > 0; f++ {
+				if !s.fixed[f] {
+					fix(f, 0, flowLinks[f])
+				}
 			}
+			return rates
 		}
 	}
 	return rates

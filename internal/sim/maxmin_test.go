@@ -166,6 +166,30 @@ func TestPropertyMaxMinBottleneck(t *testing.T) {
 	}
 }
 
+// Regression for the defensive no-progress path: a link with infinite
+// capacity yields a +Inf share that never wins the strict minimum test, so
+// progressive filling can fix nothing. The solver used to return with such
+// flows unwritten — silently handing back stale scratch from a previous
+// solve — instead of freezing them deterministically at 0.
+func TestMaxMinNoProgressFreezesAtZero(t *testing.T) {
+	var s maxMinSolver
+	// First solve: populate the reused rates scratch with nonzero values.
+	warm := s.Solve([]float64{100}, [][]int{{0}, {0}}, nil)
+	if warm[0] != 50 || warm[1] != 50 {
+		t.Fatalf("warm-up rates = %v, want [50 50]", warm)
+	}
+	// Second solve on an infinite-capacity link: no bottleneck can be
+	// selected. Capped flows freeze at their caps, the rest at exactly 0 —
+	// never at the previous solve's 50.
+	rates := s.Solve([]float64{math.Inf(1)}, [][]int{{0}, {0}}, []float64{0, 7})
+	if rates[0] != 0 {
+		t.Errorf("uncapped stalled flow rate = %g, want a deterministic 0", rates[0])
+	}
+	if rates[1] != 7 {
+		t.Errorf("capped stalled flow rate = %g, want its cap 7", rates[1])
+	}
+}
+
 func BenchmarkMaxMin200Flows(b *testing.B) {
 	r := rand.New(rand.NewSource(7))
 	nl := 250

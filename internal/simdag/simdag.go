@@ -47,11 +47,24 @@ type Result struct {
 	EdgeFinish  []float64
 }
 
+// Options configures a replay.
+type Options struct {
+	// Solver selects the fluid-network engine: the incremental flownet
+	// solver (core.FlowSolverNet, zero value) or the from-scratch
+	// reference (core.FlowSolverMaxMin).
+	Solver core.FlowSolver
+}
+
 // Execute replays schedule s of graph g on cluster cl and returns the
 // measured times. It returns an error if the schedule is structurally
 // invalid or the replay fails to complete every task (which would indicate
 // a scheduling bug rather than a property of the workload).
 func Execute(g *dag.Graph, costs *moldable.Costs, cl *platform.Cluster, s *core.Schedule) (*Result, error) {
+	return ExecuteOpts(g, costs, cl, s, Options{})
+}
+
+// ExecuteOpts is Execute with an explicit replay configuration.
+func ExecuteOpts(g *dag.Graph, costs *moldable.Costs, cl *platform.Cluster, s *core.Schedule, opts Options) (*Result, error) {
 	if err := s.Validate(g, cl); err != nil {
 		return nil, err
 	}
@@ -61,7 +74,7 @@ func Execute(g *dag.Graph, costs *moldable.Costs, cl *platform.Cluster, s *core.
 		Finish:     make([]float64, n),
 		EdgeFinish: make([]float64, len(g.Edges)),
 	}
-	eng := sim.New(cl.LinkCapacities())
+	eng := sim.NewWithSolver(cl.LinkCapacities(), opts.Solver)
 
 	// Per-processor task queues in mapping order.
 	queues := make([][]int, cl.P)

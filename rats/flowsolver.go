@@ -1,0 +1,68 @@
+package rats
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// FlowSolver selects the fluid-network rate solver used by the
+// contention-aware replay that measures every schedule.
+type FlowSolver int
+
+const (
+	// FlowNet is the incremental solver (default): flows sharing a route
+	// and rate cap aggregate into weighted super-flows, and the max-min
+	// bottleneck structure is repaired across population changes instead
+	// of re-solved from scratch. Identical rates, far cheaper on the
+	// 512/1024-node presets.
+	FlowNet FlowSolver = iota
+	// MaxMinReference re-solves the max-min rates from scratch on every
+	// flow arrival and completion. It is the oracle FlowNet is verified
+	// against; use it to cross-check results or bisect solver issues.
+	MaxMinReference
+)
+
+// String implements fmt.Stringer; the returned name round-trips through
+// ParseFlowSolver. Out-of-range values render as "FlowSolver(n)".
+func (f FlowSolver) String() string {
+	switch f {
+	case FlowNet:
+		return "flownet"
+	case MaxMinReference:
+		return "maxmin"
+	}
+	return fmt.Sprintf("FlowSolver(%d)", int(f))
+}
+
+// ParseFlowSolver converts a solver name (case-insensitive: "flownet",
+// "maxmin", plus the aliases "max-min" and "reference") into a FlowSolver.
+func ParseFlowSolver(name string) (FlowSolver, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "flownet":
+		return FlowNet, nil
+	case "maxmin", "max-min", "reference":
+		return MaxMinReference, nil
+	}
+	return 0, fmt.Errorf("rats: unknown flow solver %q (want flownet or maxmin)", name)
+}
+
+// coreFlowSolver maps the public FlowSolver onto the internal enum.
+func (f FlowSolver) coreFlowSolver() (core.FlowSolver, error) {
+	switch f {
+	case FlowNet:
+		return core.FlowSolverNet, nil
+	case MaxMinReference:
+		return core.FlowSolverMaxMin, nil
+	}
+	return 0, fmt.Errorf("rats: invalid flow solver %v", f)
+}
+
+// WithFlowSolver selects the replay's rate solver (default: FlowNet).
+func WithFlowSolver(f FlowSolver) Option {
+	return func(s *Scheduler) { s.flowSolver = f }
+}
+
+// FlowSolver returns the configured replay solver.
+func (s *Scheduler) FlowSolver() FlowSolver { return s.flowSolver }

@@ -1,0 +1,70 @@
+package rats_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/rats"
+)
+
+func TestParseFlowSolverRoundTrip(t *testing.T) {
+	for _, fs := range []rats.FlowSolver{rats.FlowNet, rats.MaxMinReference} {
+		got, err := rats.ParseFlowSolver(fs.String())
+		if err != nil || got != fs {
+			t.Errorf("ParseFlowSolver(%q) = %v, %v; want %v", fs.String(), got, err, fs)
+		}
+	}
+	for _, alias := range []string{"FLOWNET", " maxmin ", "max-min", "reference"} {
+		if _, err := rats.ParseFlowSolver(alias); err != nil {
+			t.Errorf("ParseFlowSolver(%q) unexpectedly failed: %v", alias, err)
+		}
+	}
+	if _, err := rats.ParseFlowSolver("simgrid"); err == nil {
+		t.Error("ParseFlowSolver should reject unknown names")
+	}
+	if rats.FlowSolver(99).String() != "FlowSolver(99)" {
+		t.Error("out-of-range FlowSolver should render as FlowSolver(n)")
+	}
+}
+
+// TestFlowSolversAgreeEndToEnd schedules the same workloads under both
+// replay engines: the incremental flownet solver must reproduce the
+// reference engine's makespans and traffic accounting (rates are equal up
+// to floating-point accumulation order).
+func TestFlowSolversAgreeEndToEnd(t *testing.T) {
+	dags := func() []*rats.DAG {
+		return []*rats.DAG{
+			rats.FFT(8, 3),
+			rats.Strassen(11),
+			rats.Random(rats.RandomSpec{N: 60, Width: 0.6, Density: 0.5, Regularity: 0.8, Seed: 5, Layered: true}),
+		}
+	}
+	for _, cluster := range []*rats.Cluster{rats.Grillon(), rats.Grelon()} {
+		ref := rats.New(rats.WithCluster(cluster), rats.WithStrategy(rats.TimeCost),
+			rats.WithFlowSolver(rats.MaxMinReference))
+		inc := rats.New(rats.WithCluster(cluster), rats.WithStrategy(rats.TimeCost),
+			rats.WithFlowSolver(rats.FlowNet))
+		if inc.FlowSolver() != rats.FlowNet || ref.FlowSolver() != rats.MaxMinReference {
+			t.Fatal("FlowSolver accessor does not reflect the option")
+		}
+		refRes, err := ref.ScheduleAll(nil, dags())
+		if err != nil {
+			t.Fatal(err)
+		}
+		incRes, err := inc.ScheduleAll(nil, dags())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range refRes {
+			a, b := refRes[i].Makespan, incRes[i].Makespan
+			if math.Abs(a-b) > 1e-9*math.Max(a, 1) {
+				t.Errorf("%s %s: makespan %g (flownet) vs %g (maxmin)",
+					cluster.Name(), incRes[i].DAGName, b, a)
+			}
+			if refRes[i].FlowCount != incRes[i].FlowCount || refRes[i].RemoteBytes != incRes[i].RemoteBytes {
+				t.Errorf("%s %s: traffic accounting diverged between solvers",
+					cluster.Name(), incRes[i].DAGName)
+			}
+		}
+	}
+}

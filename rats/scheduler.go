@@ -21,12 +21,14 @@ type Option func(*Scheduler)
 // mapping, simulated execution — with a fixed configuration. It is
 // immutable after New and safe for concurrent use.
 type Scheduler struct {
-	cluster   *Cluster
-	strategy  Strategy
-	allocator Allocator
+	cluster    *Cluster
+	strategy   Strategy
+	allocator  Allocator
+	flowSolver FlowSolver
 
 	mapOpts   core.Options
 	allocOpts alloc.Options
+	simOpts   simdag.Options
 
 	fixedAlloc []int
 	workers    int
@@ -63,6 +65,14 @@ func New(opts ...Option) *Scheduler {
 			s.err = err
 		} else {
 			s.allocOpts.Method = m
+		}
+	}
+	if s.err == nil {
+		fs, err := s.flowSolver.coreFlowSolver()
+		if err != nil {
+			s.err = err
+		} else {
+			s.simOpts.Solver = fs
 		}
 	}
 	return s
@@ -207,7 +217,7 @@ func (s *Scheduler) run(d *DAG) (*Result, error) {
 	}
 
 	sched := core.Map(g, costs, cl, allocation, s.mapOpts)
-	sim, err := simdag.Execute(g, costs, cl, sched)
+	sim, err := simdag.ExecuteOpts(g, costs, cl, sched, s.simOpts)
 	if err != nil {
 		return nil, fmt.Errorf("rats: %s on %s: %w", d.Name, cl.Name, err)
 	}
