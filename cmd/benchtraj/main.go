@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchtraj [-family alloc|sim] [-file FILE] [-benchtime 3x] [-label NAME] [-smoke]
+//	benchtraj [-family alloc|sim|map] [-file FILE] [-benchtime 3x] [-label NAME] [-smoke]
 //
 // The alloc family (default, BENCH_alloc.json) runs the allocation,
 // mapping and redistribution-estimation benchmarks; its derived summary is
@@ -15,7 +15,10 @@
 // scenario classes replayed under both the incremental flownet engine and
 // the from-scratch maxmin reference — and derives per cluster the
 // geometric-mean replay speedup and allocation reduction of flownet over
-// the reference.
+// the reference. The map family (BENCH_map.json) runs the full mapping
+// phase (BenchmarkMap, cluster × width) and derives the per-cluster
+// geometric means of ns/op and allocs/op — the trajectory of the sparse
+// allocation-free alignment path.
 //
 // -smoke runs the suite at -benchtime 1x and prints the entry to stdout
 // without touching the file: CI uses it to prove the wiring (benchmarks
@@ -59,11 +62,13 @@ type Entry struct {
 	AllocSpeed    map[string]float64 `json:"alloc_speedup_geomean,omitempty"`
 	SimSpeed      map[string]float64 `json:"sim_speedup_geomean,omitempty"`
 	SimAllocRatio map[string]float64 `json:"sim_allocs_ratio_geomean,omitempty"`
+	MapNs         map[string]float64 `json:"map_ns_geomean,omitempty"`
+	MapAllocs     map[string]float64 `json:"map_allocs_mean,omitempty"`
 	Benchmarks    []Measurement      `json:"benchmarks"`
 }
 
 func main() {
-	family := flag.String("family", "alloc", "benchmark family: alloc (allocation/mapping/estimation) or sim (flow-level replay)")
+	family := flag.String("family", "alloc", "benchmark family: alloc (allocation/mapping/estimation), sim (flow-level replay) or map (mapping phase)")
 	file := flag.String("file", "", "trajectory file to append to (default: BENCH_<family>.json)")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
 	label := flag.String("label", "", "entry label (default: current git short hash)")
@@ -75,15 +80,17 @@ func main() {
 		*file = "BENCH_" + *family + ".json"
 	}
 	switch *family {
-	case "alloc", "sim":
+	case "alloc", "sim", "map":
 	default:
-		fmt.Fprintf(os.Stderr, "benchtraj: unknown family %q (want alloc or sim)\n", *family)
+		fmt.Fprintf(os.Stderr, "benchtraj: unknown family %q (want alloc, sim or map)\n", *family)
 		os.Exit(1)
 	}
 	if *pattern == "" {
 		switch *family {
 		case "alloc":
 			*pattern = "^(BenchmarkAlloc|BenchmarkMap|BenchmarkRedistTime)$"
+		case "map":
+			*pattern = "^BenchmarkMap$"
 		case "sim":
 			*pattern = "^BenchmarkSim$"
 			if *smoke {
@@ -161,6 +168,9 @@ func run(family, file, benchtime, label, pattern string, smoke bool) error {
 	case "sim":
 		entry.SimSpeed = simRatios(ms, "BenchmarkSim", func(m Measurement) float64 { return m.NsPerOp })
 		entry.SimAllocRatio = simRatios(ms, "BenchmarkRecompute", func(m Measurement) float64 { return m.MallocsOp })
+	case "map":
+		entry.MapNs = mapGeomeans(ms, func(m Measurement) float64 { return m.NsPerOp })
+		entry.MapAllocs = mapMeans(ms, func(m Measurement) float64 { return m.AllocsOp })
 	}
 
 	if smoke {
@@ -321,6 +331,68 @@ func simRatios(ms []Measurement, bench string, metric func(Measurement) float64)
 		return nil
 	}
 	return ratio
+}
+
+// mapGeomeans derives, per cluster, the geometric mean of one metric over
+// every BenchmarkMap/<cluster>/w=<w> width shape. Unlike the other
+// families there is no in-benchmark reference engine to ratio against —
+// the mapping engine is singular and pinned by golden digests — so the
+// trajectory compares absolute per-cluster summaries across entries.
+// Positive metrics only (ns/op always is).
+func mapGeomeans(ms []Measurement, metric func(Measurement) float64) map[string]float64 {
+	logSum := map[string]float64{}
+	counts := map[string]int{}
+	for _, m := range ms {
+		cluster, ok := mapCluster(m.Name)
+		if !ok {
+			continue
+		}
+		if v := metric(m); v > 0 {
+			logSum[cluster] += math.Log(v)
+			counts[cluster]++
+		}
+	}
+	out := map[string]float64{}
+	for cluster, n := range counts {
+		out[cluster] = math.Round(math.Exp(logSum[cluster]/float64(n))*100) / 100
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// mapMeans is the arithmetic counterpart for count metrics that can
+// legitimately reach zero (allocs/op — the trajectory's end-goal), which a
+// geometric mean would silently drop.
+func mapMeans(ms []Measurement, metric func(Measurement) float64) map[string]float64 {
+	sum := map[string]float64{}
+	counts := map[string]int{}
+	for _, m := range ms {
+		cluster, ok := mapCluster(m.Name)
+		if !ok {
+			continue
+		}
+		sum[cluster] += metric(m)
+		counts[cluster]++
+	}
+	out := map[string]float64{}
+	for cluster, n := range counts {
+		out[cluster] = math.Round(sum[cluster]/float64(n)*100) / 100
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// mapCluster extracts the cluster of a BenchmarkMap/<cluster>/w=<w> name.
+func mapCluster(name string) (string, bool) {
+	parts := strings.Split(name, "/")
+	if len(parts) != 3 || parts[0] != "BenchmarkMap" {
+		return "", false
+	}
+	return parts[1], true
 }
 
 // appendEntry reads the existing trajectory (if any), appends the entry

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	expdriver [-stride N] [-workers N] [-out DIR] [-only LIST] [-solver NAME]
+//	          [-align NAME]
 //
 // -stride subsamples the 557 application configurations (stride 1 = the
 // full evaluation; stride 4 keeps every 4th configuration) to bound the
@@ -21,7 +22,9 @@
 // RATS-delta, RATS-time-cost} mapping → contention-aware replay on the
 // simulated chti / grillon / grelon clusters. -solver selects the replay's
 // rate solver: the incremental flownet engine (default) or the
-// from-scratch maxmin reference for cross-checking.
+// from-scratch maxmin reference for cross-checking. -align overrides the
+// receiver rank-order alignment of every algorithm (§II-A ablation):
+// hungarian (exact), greedy, none, or auto (size-capped exact).
 package main
 
 import (
@@ -46,15 +49,16 @@ func main() {
 	outDir := flag.String("out", "results", "output directory for per-experiment files")
 	only := flag.String("only", "", "comma-separated experiment subset (default: all)")
 	solver := flag.String("solver", "flownet", "replay rate solver: flownet (incremental) or maxmin (reference)")
+	align := flag.String("align", "", "override receiver rank alignment for every algorithm: hungarian, greedy, none or auto (default: per-algorithm)")
 	flag.Parse()
 
-	if err := run(*stride, *workers, *outDir, *only, *solver); err != nil {
+	if err := run(*stride, *workers, *outDir, *only, *solver, *align); err != nil {
 		fmt.Fprintln(os.Stderr, "expdriver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(stride, workers int, outDir, only, solver string) error {
+func run(stride, workers int, outDir, only, solver, align string) error {
 	want := map[string]bool{}
 	for _, s := range strings.Split(only, ",") {
 		if s = strings.TrimSpace(s); s != "" {
@@ -77,6 +81,13 @@ func run(stride, workers int, outDir, only, solver string) error {
 		runner.Solver = core.FlowSolverMaxMin
 	default:
 		return fmt.Errorf("unknown -solver %q (want flownet or maxmin)", solver)
+	}
+	if align != "" {
+		mode, err := redist.ParseAlignMode(align)
+		if err != nil {
+			return err
+		}
+		runner.Align = &mode
 	}
 	grillon := clusters[1]
 

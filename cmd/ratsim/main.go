@@ -5,8 +5,8 @@
 // Usage:
 //
 //	ratsim [-app KIND] [-n N] [-k K] [-width W] [-density D] [-regularity R]
-//	       [-jump J] [-seed S] [-cluster NAME] [-solver NAME] [-gantt]
-//	       [-algo NAME] [-json]
+//	       [-jump J] [-seed S] [-cluster NAME] [-solver NAME] [-align NAME]
+//	       [-gantt] [-algo NAME] [-json]
 //
 // Examples:
 //
@@ -37,11 +37,12 @@ func main() {
 	algoFilter := flag.String("algo", "", "run only one algorithm: hcpa, delta, time-cost")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file per algorithm (prefix)")
 	solverName := flag.String("solver", "flownet", "replay rate solver: flownet (incremental) or maxmin (reference)")
+	alignName := flag.String("align", "hungarian", "receiver rank alignment: hungarian, greedy, none or auto")
 	asJSON := flag.Bool("json", false, "emit one JSON result per algorithm instead of text")
 	flag.Parse()
 
 	if err := run(*app, *n, *k, *width, *density, *regularity, *jump, *seed,
-		*clusterName, *solverName, *gantt, *algoFilter, *traceOut, *asJSON); err != nil {
+		*clusterName, *solverName, *alignName, *gantt, *algoFilter, *traceOut, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "ratsim:", err)
 		os.Exit(1)
 	}
@@ -64,12 +65,16 @@ func buildDAG(app string, n, k int, width, density, regularity float64, jump int
 }
 
 func run(app string, n, k int, width, density, regularity float64, jump int, seed int64,
-	clusterName, solverName string, gantt bool, algoFilter, traceOut string, asJSON bool) error {
+	clusterName, solverName, alignName string, gantt bool, algoFilter, traceOut string, asJSON bool) error {
 	cl, err := rats.ClusterByName(clusterName)
 	if err != nil {
 		return err
 	}
 	solver, err := rats.ParseFlowSolver(solverName)
+	if err != nil {
+		return err
+	}
+	align, err := rats.ParseAlignment(alignName)
 	if err != nil {
 		return err
 	}
@@ -110,7 +115,8 @@ func run(app string, n, k int, width, density, regularity float64, jump int, see
 		if algoFilter != "" && v.strategy != only {
 			continue
 		}
-		s := rats.New(rats.WithCluster(cl), rats.WithStrategy(v.strategy), rats.WithFlowSolver(solver))
+		s := rats.New(rats.WithCluster(cl), rats.WithStrategy(v.strategy),
+			rats.WithFlowSolver(solver), rats.WithAlignment(align))
 		res, err := s.Schedule(d)
 		if err != nil {
 			return err

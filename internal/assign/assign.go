@@ -5,6 +5,13 @@
 // maximizes self-communication when the sender and receiver processor sets
 // of a redistribution intersect (§II-A of the paper: "our redistribution
 // algorithm tries to maximize the amount of self communications").
+//
+// Two solvers are provided: the dense MinCost/MaxWeight pair, and
+// MaxWeightSparse, which solves the same square problem over CSR triples
+// with a reusable Scratch and no matrix materialization. The sparse solver
+// is bit-identical to the dense one — same algorithm, same row order, same
+// floating-point expressions — which the hot alignment path depends on;
+// the dense solver is kept as its oracle.
 package assign
 
 import "math"

@@ -35,9 +35,25 @@ type Estimator struct {
 	setCnt   []int     // same-set fallback counters for P beyond the bitset range
 
 	// Memo for EdgeRedistTime, keyed by (edge ID, receiver rank order);
-	// valid for one mapping run (sender sets are fixed once mapped).
-	memo   map[string]float64
-	keyBuf []byte
+	// valid for one mapping run (sender sets are fixed once mapped). The
+	// keys live in one shared arena with a chained hash index on top:
+	// a map[string]float64 would copy every distinct key into its own
+	// allocation on insert, which used to be a measurable slice of the
+	// mapping loop's allocation volume. The hash only buckets — equality
+	// is always decided on the full key bytes, so collisions cannot change
+	// an estimate.
+	memoIdx  map[uint64]int32
+	memoEnts []memoEntry
+	memoKeys []byte
+	keyBuf   []byte
+}
+
+// memoEntry is one memoized estimate: its key bytes in the arena, the
+// estimate, and the next entry of the same hash bucket (-1 ends the chain).
+type memoEntry struct {
+	keyOff, keyLen int32
+	next           int32
+	val            float64
 }
 
 // NewEstimator returns an estimator for the given cluster.
@@ -172,19 +188,40 @@ func (e *Estimator) RedistTime(bytes float64, senders, receivers []int) float64 
 // delta EFT guard, time-cost packing) hit the memo instead of re-walking
 // the block matrix. Do not reuse one Estimator across mapping runs.
 func (e *Estimator) EdgeRedistTime(edge int, bytes float64, senders, receivers []int) float64 {
-	if e.memo == nil {
-		e.memo = make(map[string]float64)
+	if e.memoIdx == nil {
+		// Capacity hints sized for a typical mapping run (a few hundred
+		// distinct (edge, receiver-order) pairs) keep growth re-allocations
+		// to a handful per run.
+		e.memoIdx = make(map[uint64]int32, 256)
+		e.memoEnts = make([]memoEntry, 0, 256)
+		e.memoKeys = make([]byte, 0, 4096)
 	}
 	key := binary.AppendUvarint(e.keyBuf[:0], uint64(edge))
 	for _, r := range receivers {
 		key = binary.AppendUvarint(key, uint64(r))
 	}
 	e.keyBuf = key
-	if v, ok := e.memo[string(key)]; ok {
-		return v
+	// FNV-1a over the key bytes buckets the chains; stored keys decide.
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	head, ok := e.memoIdx[h]
+	if ok {
+		for i := head; i >= 0; i = e.memoEnts[i].next {
+			ent := &e.memoEnts[i]
+			if string(e.memoKeys[ent.keyOff:ent.keyOff+ent.keyLen]) == string(key) {
+				return ent.val
+			}
+		}
+	} else {
+		head = -1
 	}
 	v := e.RedistTime(bytes, senders, receivers)
-	e.memo[string(key)] = v
+	off := int32(len(e.memoKeys))
+	e.memoKeys = append(e.memoKeys, key...)
+	e.memoEnts = append(e.memoEnts, memoEntry{keyOff: off, keyLen: int32(len(key)), next: head, val: v})
+	e.memoIdx[h] = int32(len(e.memoEnts) - 1)
 	return v
 }
 

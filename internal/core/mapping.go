@@ -152,6 +152,24 @@ type mapper struct {
 	availTouched []int  // reorderAvail scratch: committed processors
 	touchedMark  []bool // reorderAvail scratch, indexed by processor ID
 
+	// Per-call scratch of the predecessor enumerations and the ready-list
+	// sort. predsBuf and inhBuf are distinct because timeCostPlacement
+	// iterates inheritablePreds' result while baselinePlacement re-runs
+	// realPreds underneath it; sortKey is indexed by task ID; sorter is the
+	// reusable sort.Stable adapter (sort.SliceStable would allocate its
+	// closure and reflect swapper on every wave re-sort).
+	predsBuf []int
+	inhBuf   []int
+	sortKey  []float64
+	sorter   readySorter
+
+	// alignScratch owns the receiver-rank alignment's working state
+	// (banded benefit CSR, Hungarian potentials, id-indexed rank slices),
+	// so every candidate evaluation aligns without allocating. Mapping
+	// runs are single-threaded; batch scheduling creates one mapper — and
+	// hence one scratch — per run.
+	alignScratch redist.AlignScratch
+
 	// bufPool recycles candidate processor-set buffers. Every candidate
 	// placement copies a processor set (alignToHeaviestPred, the RATS
 	// adoption copies), but only the winning candidate's set survives into
@@ -187,6 +205,8 @@ func (m *mapper) run() *Schedule {
 	m.availKept = make([]int, 0, m.cl.P)
 	m.availTouched = make([]int, 0, m.cl.P)
 	m.touchedMark = make([]bool, m.cl.P)
+	m.sortKey = make([]float64, n)
+	m.sorter.m = m
 
 	// Static priorities: bottom levels over allocated execution times and
 	// contention-free edge estimates (§II-C).
@@ -205,10 +225,11 @@ func (m *mapper) run() *Schedule {
 	for t := 0; t < n; t++ {
 		predsLeft[t] = len(m.g.In(t))
 	}
+	ready := make([]int, 0, n)
 	for remaining > 0 {
 		// Wave: every unmapped task whose predecessors are all mapped
 		// (Algorithm 1, lines 3–6).
-		var ready []int
+		ready = ready[:0]
 		for t := 0; t < n; t++ {
 			if !m.mapped[t] && predsLeft[t] == 0 {
 				ready = append(ready, t)
@@ -218,21 +239,20 @@ func (m *mapper) run() *Schedule {
 			panic("core: no ready task but tasks remain (cyclic graph?)")
 		}
 		m.sortReady(ready)
-		for len(ready) > 0 {
-			t := ready[0]
-			ready = ready[1:]
+		for head := 0; head < len(ready); head++ {
+			t := ready[head]
 			claimedPred := m.place(t)
 			m.mapped[t] = true
 			m.order = append(m.order, t)
 			remaining--
-			for _, s := range m.g.Succs(t) {
-				predsLeft[s]--
+			for _, e := range m.g.Out(t) {
+				predsLeft[m.g.Edges[e].To]--
 			}
 			// Algorithm 1, lines 11–12: a mapping that adopted a parent
 			// allocation invalidates the δ/gain values of the ready tasks
 			// that shared this parent; recompute by re-sorting the rest.
-			if claimedPred >= 0 && len(ready) > 1 {
-				m.sortReady(ready)
+			if rest := ready[head+1:]; claimedPred >= 0 && len(rest) > 1 {
+				m.sortReady(rest)
 			}
 		}
 	}
@@ -259,25 +279,55 @@ func (m *mapper) totalWork() float64 {
 	return w
 }
 
+// readySorter adapts a wave's ready list to sort.Stable without per-call
+// closures. The two phases of sortReady share it: the primary pass orders
+// by (bottom level desc, task ID asc); the secondary pass re-orders groups
+// of near-equal bottom level by the strategy key in m.sortKey. sort.Stable
+// runs the same stable algorithm as sort.SliceStable, so the resulting
+// permutations — and hence the schedules — are unchanged.
+type readySorter struct {
+	m         *mapper
+	list      []int
+	secondary bool
+}
+
+func (s *readySorter) Len() int      { return len(s.list) }
+func (s *readySorter) Swap(i, j int) { s.list[i], s.list[j] = s.list[j], s.list[i] }
+
+func (s *readySorter) Less(i, j int) bool {
+	m := s.m
+	a, b := s.list[i], s.list[j]
+	if !s.secondary {
+		if m.bl[a] != m.bl[b] {
+			return m.bl[a] > m.bl[b]
+		}
+		return a < b
+	}
+	const rel = 1e-12
+	ba, bb := m.bl[a], m.bl[b]
+	tol := rel * math.Max(math.Abs(ba), math.Abs(bb))
+	if math.Abs(ba-bb) > tol {
+		return ba > bb
+	}
+	return m.sortKey[a] < m.sortKey[b]
+}
+
 // sortReady orders a wave: primary decreasing bottom level; secondary
 // (stable, §III-C) increasing δ(t) for delta, decreasing gain(t) for
 // time-cost. Task ID is the final deterministic tie-break.
 func (m *mapper) sortReady(ready []int) {
 	// Primary sort must itself be stable relative to task IDs.
-	sort.SliceStable(ready, func(a, b int) bool {
-		if m.bl[ready[a]] != m.bl[ready[b]] {
-			return m.bl[ready[a]] > m.bl[ready[b]]
-		}
-		return ready[a] < ready[b]
-	})
+	m.sorter.list = ready
+	m.sorter.secondary = false
+	sort.Stable(&m.sorter)
 	if !m.opts.SortSecondary || m.opts.Strategy == StrategyNone {
+		m.sorter.list = nil
 		return
 	}
-	var key func(t int) float64
 	switch m.opts.Strategy {
 	case StrategyDelta:
 		// increasing δ(t) = min(δ+, −δ−): fewer modifications first.
-		key = func(t int) float64 {
+		for _, t := range ready {
 			dPlus, _, dMinus, _ := m.deltas(t)
 			v := math.Inf(1)
 			if dPlus >= 0 {
@@ -286,48 +336,46 @@ func (m *mapper) sortReady(ready []int) {
 			if dMinus <= 0 && -float64(dMinus) < v {
 				v = -float64(dMinus)
 			}
-			return v
+			m.sortKey[t] = v
 		}
 	case StrategyTimeCost:
 		// decreasing gain(t): larger potential time reduction first.
-		key = func(t int) float64 { return -m.gain(t) }
-	}
-	vals := make(map[int]float64, len(ready))
-	for _, t := range ready {
-		vals[t] = key(t)
+		for _, t := range ready {
+			m.sortKey[t] = -m.gain(t)
+		}
 	}
 	// Stable secondary sort within groups of equal bottom level.
-	const rel = 1e-12
-	sort.SliceStable(ready, func(a, b int) bool {
-		ba, bb := m.bl[ready[a]], m.bl[ready[b]]
-		tol := rel * math.Max(math.Abs(ba), math.Abs(bb))
-		if math.Abs(ba-bb) > tol {
-			return ba > bb
-		}
-		return vals[ready[a]] < vals[ready[b]]
-	})
+	m.sorter.secondary = true
+	sort.Stable(&m.sorter)
+	m.sorter.list = nil
 }
 
-// realPreds returns the non-virtual predecessors of t that own processors.
+// realPreds returns the non-virtual predecessors of t that own processors
+// (one entry per in-edge, like the adjacency). The result lives in a
+// mapper-owned scratch buffer, overwritten by the next realPreds call.
 func (m *mapper) realPreds(t int) []int {
-	var ps []int
-	for _, p := range m.g.Preds(t) {
-		if !m.g.Tasks[p].Virtual && len(m.procs[p]) > 0 {
+	ps := m.predsBuf[:0]
+	for _, e := range m.g.In(t) {
+		if p := m.g.Edges[e].From; !m.g.Tasks[p].Virtual && len(m.procs[p]) > 0 {
 			ps = append(ps, p)
 		}
 	}
+	m.predsBuf = ps
 	return ps
 }
 
 // inheritablePreds returns the predecessors whose processor sets are still
-// available for adoption (not yet claimed by another child).
+// available for adoption (not yet claimed by another child). The result
+// lives in its own scratch buffer — distinct from realPreds' — because the
+// time-cost placement iterates it across nested baselinePlacement calls.
 func (m *mapper) inheritablePreds(t int) []int {
-	var ps []int
+	ps := m.inhBuf[:0]
 	for _, p := range m.realPreds(t) {
 		if m.opts.NoClaiming || !m.claimed[p] {
 			ps = append(ps, p)
 		}
 	}
+	m.inhBuf = ps
 	return ps
 }
 
@@ -396,16 +444,15 @@ func (m *mapper) place(t int) int {
 		m.start[t], m.finish[t] = est, est
 		return -1
 	}
-	best, pred := m.strategyPlacement(t)
-	if best == nil {
-		b := m.baselinePlacement(t)
-		best = &b
+	best, pred, ok := m.strategyPlacement(t)
+	if !ok {
+		best = m.baselinePlacement(t)
 		pred = -1
 	}
 	if pred >= 0 {
 		m.claimed[pred] = true
 	}
-	m.commit(t, *best)
+	m.commit(t, best)
 	return pred
 }
 
@@ -587,5 +634,5 @@ func (m *mapper) alignToHeaviestPred(t int, procs []int) []int {
 	if heavy < 0 || bytes == 0 {
 		return append(m.getBuf(), procs...)
 	}
-	return redist.AlignReceiversInto(m.getBuf(), bytes, m.procs[heavy], procs, m.opts.Align)
+	return redist.AlignReceiversScratch(m.getBuf(), bytes, m.procs[heavy], procs, m.opts.Align, &m.alignScratch)
 }

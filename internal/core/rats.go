@@ -12,14 +12,18 @@ import "math"
 //
 // Only unclaimed predecessors are candidates: each parent allocation can
 // be inherited once (see mapper.claimed).
-func (m *mapper) strategyPlacement(t int) (*placement, int) {
+//
+// The placement is returned by value (ok reports whether one was found):
+// a pointer would force every candidate through the heap, one allocation
+// per evaluated task.
+func (m *mapper) strategyPlacement(t int) (pl placement, pred int, ok bool) {
 	switch m.opts.Strategy {
 	case StrategyDelta:
 		return m.deltaPlacement(t)
 	case StrategyTimeCost:
 		return m.timeCostPlacement(t)
 	}
-	return nil, -1
+	return placement{}, -1, false
 }
 
 // deltaBounds converts the mindelta/maxdelta fractions into per-task
@@ -42,7 +46,7 @@ func (m *mapper) deltaBounds(t int) (dMin, dMax int) {
 //  3. adopt the modification with the smallest |δ| (a stretch wins ties,
 //     since it also shortens the task), mapping the task onto the selected
 //     predecessor's processors.
-func (m *mapper) deltaPlacement(t int) (*placement, int) {
+func (m *mapper) deltaPlacement(t int) (placement, int, bool) {
 	dPlus, predPlus, dMinus, predMinus := m.deltas(t)
 	dMin, dMax := m.deltaBounds(t)
 
@@ -62,7 +66,7 @@ func (m *mapper) deltaPlacement(t int) (*placement, int) {
 	case packOK:
 		pred = predMinus
 	default:
-		return nil, -1
+		return placement{}, -1, false
 	}
 	pl := m.evalOn(t, append(m.getBuf(), m.procs[pred]...))
 	if m.opts.DeltaEFTGuard {
@@ -70,10 +74,10 @@ func (m *mapper) deltaPlacement(t int) (*placement, int) {
 		m.putBuf(base.procs)
 		if base.eft < pl.eft {
 			m.putBuf(pl.procs)
-			return nil, -1
+			return placement{}, -1, false
 		}
 	}
-	return &pl, pred
+	return pl, pred, true
 }
 
 // rho returns the time-cost ratio of Equation 1 for executing t on p'
@@ -101,8 +105,9 @@ func (m *mapper) rho(t, pPrime int) float64 {
 //     baseline mapping's.
 //
 // When both pass, the candidate with the earliest estimated finish wins.
-func (m *mapper) timeCostPlacement(t int) (*placement, int) {
-	var best *placement
+func (m *mapper) timeCostPlacement(t int) (placement, int, bool) {
+	var best placement
+	haveBest := false
 	bestPred := -1
 	bestEFT := math.Inf(1)
 
@@ -122,7 +127,7 @@ func (m *mapper) timeCostPlacement(t int) (*placement, int) {
 	}
 	if stretchPred >= 0 && bestRho >= m.opts.MinRho {
 		pl := m.evalOn(t, append(m.getBuf(), m.procs[stretchPred]...))
-		best, bestPred, bestEFT = &pl, stretchPred, pl.eft
+		best, haveBest, bestPred, bestEFT = pl, true, stretchPred, pl.eft
 	}
 
 	// Pack candidates: must not degrade the estimated finish time.
@@ -134,16 +139,15 @@ func (m *mapper) timeCostPlacement(t int) (*placement, int) {
 			}
 			pl := m.evalOn(t, append(m.getBuf(), m.procs[p]...))
 			if pl.eft <= baseline.eft && pl.eft < bestEFT {
-				if best != nil {
+				if haveBest {
 					m.putBuf(best.procs)
 				}
-				cp := pl
-				best, bestPred, bestEFT = &cp, p, pl.eft
+				best, haveBest, bestPred, bestEFT = pl, true, p, pl.eft
 			} else {
 				m.putBuf(pl.procs)
 			}
 		}
 		m.putBuf(baseline.procs)
 	}
-	return best, bestPred
+	return best, bestPred, haveBest
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/moldable"
 	"repro/internal/par"
 	"repro/internal/platform"
+	"repro/internal/redist"
 	"repro/internal/simdag"
 )
 
@@ -98,6 +99,11 @@ type Runner struct {
 	// incremental flownet solver; core.FlowSolverMaxMin runs the
 	// from-scratch reference).
 	Solver core.FlowSolver
+	// Align, when non-nil, overrides every algorithm's receiver rank-order
+	// alignment mode (the expdriver -align ablation switch). Nil keeps the
+	// per-spec modes, so configurations that sweep alignment themselves —
+	// the root ablation benches — are unaffected.
+	Align *redist.AlignMode
 }
 
 // NewRunner returns a Runner with the paper's defaults.
@@ -130,7 +136,11 @@ func (r *Runner) Run(scens []Scenario, cl *platform.Cluster, algos []AlgoSpec) (
 			if spec.Alloc != nil {
 				taskAlloc = alloc.Compute(g, costs, cl, *spec.Alloc)
 			}
-			sched := core.Map(g, costs, cl, taskAlloc, spec.Map)
+			mapOpts := spec.Map
+			if r.Align != nil {
+				mapOpts.Align = *r.Align
+			}
+			sched := core.Map(g, costs, cl, taskAlloc, mapOpts)
 			sig := scheduleSignature(sched)
 			makespan, hit := cache[sig]
 			if !hit {

@@ -134,7 +134,11 @@ type Net struct {
 
 	popped []int32
 
-	fullSolves, incrSolves int
+	// nolog suppresses the level/fix/checkpoint bookkeeping for the
+	// duration of one small-population scratch solve (see solve.go).
+	nolog bool
+
+	fullSolves, incrSolves, scratchSolves int
 }
 
 // New creates a network over links with the given capacities (bytes/s).

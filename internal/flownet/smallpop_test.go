@@ -1,0 +1,83 @@
+package flownet_test
+
+// Oracle equivalence of the adaptive small-population mode: populations at
+// or below the scratch threshold solve without bottleneck-log bookkeeping,
+// and must produce exactly the same rates as the reference solver — also
+// across transitions into and out of the logged regime.
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// TestSmallPopulationScratchPathTaken pins that tiny-population churn (the
+// irregular jump=2 replay profile) actually runs the scratch path instead
+// of the log machinery, and still matches the from-scratch oracle on every
+// solve.
+func TestSmallPopulationScratchPathTaken(t *testing.T) {
+	for _, cl := range []*platform.Cluster{platform.Grelon(), platform.Big1024()} {
+		cl := cl
+		t.Run(cl.Name, func(t *testing.T) {
+			o := newOracleNet(t, cl, 314)
+			for i := 0; i < 5; i++ {
+				o.addRandom()
+			}
+			o.check()
+			for step := 0; step < 60; step++ {
+				if o.rng.Intn(2) == 0 && len(o.flows) > 1 {
+					o.removeRandom()
+				} else {
+					o.addRandom()
+				}
+				o.check()
+			}
+			if o.net.ScratchSolves() < 50 {
+				t.Errorf("scratch solves = %d (full %d, incremental %d): tiny populations must skip the log bookkeeping",
+					o.net.ScratchSolves(), o.net.FullSolves(), o.net.IncrementalSolves())
+			}
+			if o.net.IncrementalSolves() > 0 {
+				t.Errorf("incremental solves = %d below the scratch threshold", o.net.IncrementalSolves())
+			}
+		})
+	}
+}
+
+// TestSmallPopulationRegimeTransitions grows a population across the
+// scratch threshold and shrinks it back, checking oracle equivalence at
+// every step: the first above-threshold solve after a scratch era must
+// rebuild the log from scratch (the scratch path leaves it untrusted), and
+// dropping back below the threshold must stay exact.
+func TestSmallPopulationRegimeTransitions(t *testing.T) {
+	cl := platform.Big512()
+	for seed := int64(0); seed < 6; seed++ {
+		o := newOracleNet(t, cl, 9000+seed)
+		// Grow 0 → 120 one flow at a time, solving at every step.
+		for i := 0; i < 120; i++ {
+			o.addRandom()
+			o.check()
+		}
+		// Churn in the logged regime so the log carries real history.
+		for step := 0; step < 20; step++ {
+			o.removeRandom()
+			o.addRandom()
+			o.check()
+		}
+		// Shrink back through the threshold to a handful of flows.
+		for len(o.flows) > 3 {
+			o.removeRandom()
+			o.check()
+		}
+		// And grow again: the post-scratch log rebuild must be exact.
+		for i := 0; i < 60; i++ {
+			o.addRandom()
+			o.check()
+		}
+		if o.net.ScratchSolves() == 0 {
+			t.Fatal("transition sequence never exercised the scratch path")
+		}
+		if o.net.IncrementalSolves() == 0 {
+			t.Fatal("transition sequence never exercised the log-repair path")
+		}
+	}
+}

@@ -59,6 +59,15 @@ type capKey struct {
 // levels of delta replay instead of re-applying the whole prefix.
 const ckStride = 32
 
+// smallPopulation is the adaptive cutoff below which Solve re-solves from
+// scratch without any bottleneck-log bookkeeping: for tiny populations
+// (the irregular jump=2 scenario classes keep a handful of concurrent
+// flows) progressive filling is cheaper than the merge replay's fixed
+// costs — checkpoint restore, level/fix logging, snapshot maintenance —
+// and the scratch path additionally touches only the live links instead
+// of copying full capacity vectors.
+const smallPopulation = 16
+
 const noLevel = math.MaxInt32
 
 // Solve repairs the max-min rate allocation after population changes.
@@ -84,6 +93,40 @@ func (n *Net) Solve() {
 	n.epoch++
 	n.unfixedList = n.unfixedList[:0]
 	n.capHeap = n.capHeap[:0]
+
+	// Small populations re-solve from scratch without any log bookkeeping:
+	// no levels, no fix entries, no checkpoints, and only the live links'
+	// working state restored. The log is declared untrusted, so the next
+	// above-threshold solve rebuilds it with one full pass.
+	if n.solvable <= smallPopulation {
+		n.scratchSolves++
+		for _, l := range n.chLinks {
+			// Keep the checkpoint weight base in sync even though the
+			// checkpoints themselves are dropped: the next full solve
+			// snapshots against current weights, and later drift folds
+			// must not double-count the small-era changes.
+			n.lastLinkWeight[l] = n.linkWeight[l]
+		}
+		n.nCk = 0
+		n.logOK = false
+		n.levels = n.levels[:0]
+		n.fixes = n.fixes[:0]
+		for _, l := range n.liveLinks {
+			n.rem[l] = n.caps[l]
+			n.wcnt[l] = n.linkWeight[l]
+		}
+		for _, eid := range n.active {
+			if e := &n.ents[eid]; !e.exempt {
+				n.queuePending(eid, e)
+			}
+		}
+		n.unfixed = len(n.unfixedList)
+		n.nolog = true
+		n.fill()
+		n.nolog = false
+		n.finishSolve()
+		return
+	}
 
 	// Checkpoint weight maintenance: snapshots store wcnt relative to the
 	// link weights of the solve that took them. Changed links fold the
@@ -141,7 +184,11 @@ func (n *Net) Solve() {
 		}
 	}
 	n.fill()
+	n.finishSolve()
+}
 
+// finishSolve clears the change tracking every solve path shares.
+func (n *Net) finishSolve() {
 	for _, l := range n.chLinks {
 		n.linkChanged[l] = false
 	}
@@ -153,10 +200,12 @@ func (n *Net) Solve() {
 	n.pendingCut = noLevel
 }
 
-// FullSolves and IncrementalSolves report how often Solve re-solved from
-// scratch vs. repaired the level log (diagnostics and tests).
+// FullSolves, IncrementalSolves and ScratchSolves report how often Solve
+// re-solved from scratch with logging, repaired the level log, or took the
+// small-population scratch path (diagnostics and tests).
 func (n *Net) FullSolves() int        { return n.fullSolves }
 func (n *Net) IncrementalSolves() int { return n.incrSolves }
+func (n *Net) ScratchSolves() int     { return n.scratchSolves }
 
 // queuePending moves a live non-exempt entity into the pending set: it
 // must be (re)fixed this solve, by a merge-walk event or by the fill.
@@ -560,20 +609,26 @@ func (n *Net) flushLevel(r float64, updateShares bool) {
 
 // fixMeta freezes one entity of the level being built: rate, epoch stamps
 // and the fix-log entry, with the link consumption deferred to flushLevel.
+// In nolog (small-population) mode the fix log is skipped and the entity is
+// marked as absent from it.
 func (n *Net) fixMeta(eid int32, rate float64) {
 	e := &n.ents[eid]
-	n.fixedLevel[eid] = int32(len(n.levels))
 	e.rate = rate
 	n.rates[e.pos] = rate
 	n.fixedEp[eid] = n.epoch
 	n.bumpDeadline(eid, e)
-	f := fixEntry{ent: eid, gen: e.gen, weight: e.weight, rate: rate}
-	if len(e.links) <= maxAggRoute {
-		f.nlinks = int8(copy(f.links[:], e.links))
+	if n.nolog {
+		n.fixedLevel[eid] = noLevel
 	} else {
-		f.nlinks = longRoute
+		n.fixedLevel[eid] = int32(len(n.levels))
+		f := fixEntry{ent: eid, gen: e.gen, weight: e.weight, rate: rate}
+		if len(e.links) <= maxAggRoute {
+			f.nlinks = int8(copy(f.links[:], e.links))
+		} else {
+			f.nlinks = longRoute
+		}
+		n.fixes = append(n.fixes, f)
 	}
-	n.fixes = append(n.fixes, f)
 	for _, l := range e.links {
 		if n.wsum[l] == 0 {
 			n.touchedLn = append(n.touchedLn, l)
@@ -669,7 +724,7 @@ func (n *Net) fill() {
 	wcnt, shares := n.wcnt, n.share
 
 	for n.unfixed > 0 {
-		if i := len(n.levels); i%ckStride == 0 && i/ckStride >= n.nCk {
+		if i := len(n.levels); !n.nolog && i%ckStride == 0 && i/ckStride >= n.nCk {
 			n.snapshotCk(i / ckStride)
 			n.nCk = i/ckStride + 1
 		}
@@ -710,7 +765,9 @@ func (n *Net) fill() {
 			fixStart := int32(len(n.fixes))
 			n.fixMeta(capEnt, capVal)
 			n.flushLevel(capVal, true)
-			n.levels = append(n.levels, level{link: -1, nfix: 1, fixStart: fixStart, value: capVal})
+			if !n.nolog {
+				n.levels = append(n.levels, level{link: -1, nfix: 1, fixStart: fixStart, value: capVal})
+			}
 		case bottleneck >= 0:
 			if share < 0 {
 				share = 0
@@ -724,8 +781,10 @@ func (n *Net) fill() {
 				}
 			}
 			n.flushLevel(share, true)
-			n.bnLevel[bottleneck] = int32(len(n.levels))
-			n.levels = append(n.levels, level{link: bottleneck, nfix: nfix, fixStart: fixStart, value: share})
+			if !n.nolog {
+				n.bnLevel[bottleneck] = int32(len(n.levels))
+				n.levels = append(n.levels, level{link: bottleneck, nfix: nfix, fixStart: fixStart, value: share})
+			}
 		default:
 			// Defensive no-progress path (mirrors the reference solver):
 			// freeze the remaining capped entities at their caps, anything

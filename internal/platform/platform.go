@@ -197,19 +197,28 @@ func (c *Cluster) LinkCapacities() []float64 {
 // are free, which implements the paper's "no redistribution cost on the
 // same processor" assumption at the flow level.
 func (c *Cluster) Route(src, dst int) (links []LinkID, latency float64) {
+	return c.AppendRoute(nil, src, dst)
+}
+
+// AppendRoute appends the route's links to buf and returns the extended
+// slice with the one-way latency — the amortized-allocation companion of
+// Route for replay loops that start thousands of flows (callers keep the
+// links in an arena instead of one slice allocation per flow). Routes have
+// at most four links.
+func (c *Cluster) AppendRoute(buf []LinkID, src, dst int) (links []LinkID, latency float64) {
 	if src == dst {
-		return nil, 0
+		return buf, 0
 	}
 	lat := c.RouteLatency(src, dst)
 	if !c.Hierarchical() || c.Cabinet(src) == c.Cabinet(dst) {
-		return []LinkID{c.nodeUp(src), c.nodeDown(dst)}, lat
+		return append(buf, c.nodeUp(src), c.nodeDown(dst)), lat
 	}
-	return []LinkID{
+	return append(buf,
 		c.nodeUp(src),
 		c.cabUp(c.Cabinet(src)),
 		c.cabDown(c.Cabinet(dst)),
 		c.nodeDown(dst),
-	}, lat
+	), lat
 }
 
 // RouteLatency returns the one-way latency of the route from src to dst

@@ -1,0 +1,278 @@
+package redist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// alignOracleCase runs both alignment engines on one instance and fails on
+// the first rank where they diverge: the sparse path must be byte-identical
+// to the dense map-and-matrix implementation, not merely equally optimal.
+func alignOracleCase(t *testing.T, total float64, senders, receivers []int, mode AlignMode, sc *AlignScratch) {
+	t.Helper()
+	denseMode := mode
+	if denseMode == AlignAuto {
+		if len(receivers) <= AlignAutoExactCap {
+			denseMode = AlignHungarian
+		} else {
+			denseMode = AlignGreedy
+		}
+	}
+	want := alignReceiversDense(nil, total, senders, receivers, denseMode)
+	got := AlignReceiversScratch(nil, total, senders, receivers, mode, sc)
+	if len(got) != len(want) {
+		t.Fatalf("aligned length %d, want %d", len(got), len(want))
+	}
+	for r := range want {
+		if got[r] != want[r] {
+			t.Fatalf("mode %v p=%d q=%d: rank %d = proc %d, dense oracle says %d\nsenders=%v\nreceivers=%v\ngot =%v\nwant=%v",
+				mode, len(senders), len(receivers), r, got[r], want[r], senders, receivers, got, want)
+		}
+	}
+}
+
+// TestAlignSparseVsDenseOracle drives the sparse alignment engine against
+// the dense oracle over randomized (cluster scale × widths × overlap
+// patterns) instances — well over 500 cases per run, every mode.
+func TestAlignSparseVsDenseOracle(t *testing.T) {
+	scales := []struct {
+		name string
+		P    int
+	}{{"grelon", 120}, {"big512", 512}, {"big1024", 1024}}
+	modes := []AlignMode{AlignHungarian, AlignGreedy, AlignAuto}
+	var sc AlignScratch // shared across every case: stale state must not leak
+	for _, scale := range scales {
+		scale := scale
+		t.Run(scale.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(scale.P)))
+			for trial := 0; trial < 300; trial++ {
+				maxW := 48
+				if trial%7 == 0 {
+					maxW = 160 // wide allocations: drives AlignAuto past its cap
+				}
+				p := 1 + rng.Intn(maxW)
+				q := 1 + rng.Intn(maxW)
+				if p > scale.P {
+					p = scale.P
+				}
+				if q > scale.P {
+					q = scale.P
+				}
+				var senders, receivers []int
+				switch trial % 3 {
+				case 0:
+					// Shifted windows: the half-overlapping pattern the
+					// mapper's earliest-available selection produces.
+					base := 0
+					if span := p + q/2; span < scale.P {
+						base = rng.Intn(scale.P - span)
+					}
+					for i := 0; i < p; i++ {
+						senders = append(senders, (base+i)%scale.P)
+					}
+					for j := 0; j < q; j++ {
+						receivers = append(receivers, (base+p/2+j)%scale.P)
+					}
+					receivers = dedupe(receivers)
+				case 1:
+					// Same set, scrambled: the RATS adoption case.
+					perm := rng.Perm(scale.P)
+					senders = append(senders, perm[:p]...)
+					receivers = append(receivers, perm[:p]...)
+					rng.Shuffle(len(receivers), func(i, j int) {
+						receivers[i], receivers[j] = receivers[j], receivers[i]
+					})
+				default:
+					// Independent random sets: overlap from none to full.
+					perm := rng.Perm(scale.P)
+					senders = append(senders, perm[:p]...)
+					perm2 := rng.Perm(scale.P)
+					receivers = append(receivers, perm2[:q]...)
+				}
+				total := 1 + rng.Float64()*1e9
+				mode := modes[trial%len(modes)]
+				alignOracleCase(t, total, senders, receivers, mode, &sc)
+			}
+		})
+	}
+}
+
+// dedupe removes repeated processor ids, keeping first occurrences (the
+// shifted-window generator can wrap around small clusters).
+func dedupe(ids []int) []int {
+	seen := map[int]bool{}
+	out := ids[:0]
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TestAlignDegenerateTotalMatchesDense: a non-positive byte count makes
+// every band benefit ≤ 0; both modes must then leave the receiver order
+// untouched, exactly like the dense fallback (the greedy path once pushed
+// the non-positive candidates and permuted anyway).
+func TestAlignDegenerateTotalMatchesDense(t *testing.T) {
+	senders := []int{0, 1, 2, 3}
+	receivers := []int{2, 3, 4, 5, 0, 1}
+	for _, total := range []float64{0, -8} {
+		for _, mode := range []AlignMode{AlignHungarian, AlignGreedy, AlignAuto} {
+			alignOracleCase(t, total, senders, receivers, mode, nil)
+		}
+	}
+}
+
+// TestAlignScratchReuseMatchesFresh pins that a reused scratch gives the
+// same answers as a fresh one (no state leaks between calls of different
+// sizes and modes).
+func TestAlignScratchReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	var sc AlignScratch
+	for trial := 0; trial < 400; trial++ {
+		p := 1 + rng.Intn(20)
+		q := 1 + rng.Intn(20)
+		perm := rng.Perm(64)
+		senders := perm[:p]
+		perm2 := rng.Perm(64)
+		receivers := perm2[:q]
+		mode := AlignMode(rng.Intn(4))
+		total := 1 + rng.Float64()*1e6
+		fresh := AlignReceiversScratch(nil, total, senders, receivers, mode, nil)
+		reused := AlignReceiversScratch(nil, total, senders, receivers, mode, &sc)
+		for i := range fresh {
+			if fresh[i] != reused[i] {
+				t.Fatalf("trial %d mode %v: scratch reuse diverged at rank %d: %v vs %v",
+					trial, mode, i, reused, fresh)
+			}
+		}
+	}
+}
+
+// TestAlignExoticIDsFallBack covers the dense fallback: processor ids the
+// indexed scratch refuses (negative or ≥ 2²⁰) must still align correctly.
+func TestAlignExoticIDsFallBack(t *testing.T) {
+	senders := []int{maxAlignID + 5, 3, maxAlignID + 9}
+	receivers := []int{maxAlignID + 9, maxAlignID + 5, 3}
+	got := AlignReceiversScratch(nil, 300, senders, receivers, AlignHungarian, &AlignScratch{})
+	for r, p := range got {
+		if senders[r] != p {
+			t.Errorf("rank %d = proc %d, want %d (identity recovery)", r, p, senders[r])
+		}
+	}
+	neg := AlignReceivers(10, []int{-1, 2}, []int{2, -1}, AlignGreedy)
+	if !SameSet(neg, []int{2, -1}) {
+		t.Errorf("negative-id alignment lost processors: %v", neg)
+	}
+}
+
+// Property: AlignAuto keeps at least as many bytes local as greedy, which
+// keeps at least as many as no alignment, over randomized overlap patterns
+// on both sides of the auto cap.
+func TestPropertyAutoDominance(t *testing.T) {
+	f := func(seed int64, wide bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		nProcs := 48
+		hi := 12
+		if wide {
+			nProcs = 400
+			hi = 180 // q can exceed AlignAutoExactCap: auto takes greedy
+		}
+		p := 1 + r.Intn(hi)
+		q := 1 + r.Intn(hi)
+		senders := r.Perm(nProcs)[:p]
+		receivers := r.Perm(nProcs)[:q]
+		total := 100.0
+		auto := AlignReceivers(total, senders, receivers, AlignAuto)
+		greedy := AlignReceivers(total, senders, receivers, AlignGreedy)
+		if !SameSet(auto, receivers) || !SameSet(greedy, receivers) {
+			return false
+		}
+		lbA := LocalBytes(total, senders, auto)
+		lbG := LocalBytes(total, senders, greedy)
+		lbN := LocalBytes(total, senders, receivers)
+		return lbA >= lbG-1e-9 && lbG >= lbN-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAlignReceiversIntoNeverAliases: every path of the aligner — early
+// exits included — must return storage disjoint from receivers, so a
+// caller recycling the result as a candidate buffer can never corrupt the
+// committed processor set it was aligned against.
+func TestAlignReceiversIntoNeverAliases(t *testing.T) {
+	cases := []struct {
+		name               string
+		senders, receivers []int
+		mode               AlignMode
+	}{
+		{"none-mode", []int{0, 1}, []int{1, 0, 2}, AlignNone},
+		{"disjoint", []int{0, 1}, []int{5, 6, 7}, AlignHungarian},
+		{"overlap-hungarian", []int{0, 1, 2, 3}, []int{7, 2, 8, 1, 9}, AlignHungarian},
+		{"overlap-greedy", []int{0, 1, 2, 3}, []int{7, 2, 8, 1, 9}, AlignGreedy},
+		{"overlap-auto", []int{0, 1, 2, 3}, []int{7, 2, 8, 1, 9}, AlignAuto},
+		{"exotic-ids", []int{maxAlignID + 1, 4}, []int{4, maxAlignID + 1}, AlignHungarian},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			orig := append([]int(nil), c.receivers...)
+			for _, dst := range [][]int{nil, make([]int, 0, 64)} {
+				got := AlignReceiversInto(dst, 60, c.senders, c.receivers, c.mode)
+				if len(got) != len(c.receivers) {
+					t.Fatalf("aligned length %d, want %d", len(got), len(c.receivers))
+				}
+				for i := range got {
+					got[i] = -99 // scribble over the result…
+				}
+				for i, p := range c.receivers { // …receivers must be untouched
+					if p != orig[i] {
+						t.Fatalf("result aliases receivers: receivers[%d] became %d", i, p)
+					}
+				}
+				copy(c.receivers, orig)
+			}
+		})
+	}
+}
+
+func BenchmarkAlignReceivers(b *testing.B) {
+	for _, q := range []int{32, 128, 384} {
+		senders := make([]int, q)
+		receivers := make([]int, q)
+		for i := 0; i < q; i++ {
+			senders[i] = i
+			receivers[i] = q/2 + i
+		}
+		var sc AlignScratch
+		buf := make([]int, 0, q)
+		for _, mode := range []AlignMode{AlignHungarian, AlignGreedy, AlignAuto} {
+			mode := mode
+			b.Run(mode.String()+"/q="+itoa(q), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					buf = AlignReceiversScratch(buf[:0], 1e9, senders, receivers, mode, &sc)
+				}
+			})
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -26,8 +26,6 @@ package redist
 import (
 	"math/bits"
 	"sort"
-
-	"repro/internal/assign"
 )
 
 // Matrix is a p×q block-redistribution communication matrix in rank space.
@@ -300,134 +298,4 @@ func overlapGeneric(a, b []int) int {
 	return n
 }
 
-// AlignMode selects how AlignReceivers orders the receiver ranks.
-type AlignMode int
-
-const (
-	// AlignHungarian maximizes self-communication bytes optimally.
-	AlignHungarian AlignMode = iota
-	// AlignGreedy assigns shared processors to their best free receiver
-	// rank in decreasing-benefit order (cheap, near-optimal in practice).
-	AlignGreedy
-	// AlignNone keeps the receiver list order unchanged.
-	AlignNone
-)
-
-// AlignReceivers returns a permutation of receivers (a rank order) chosen
-// to maximize the bytes that stay local given the sender rank order. Only
-// processors present in both lists can produce local traffic; the others
-// fill the remaining ranks in their original relative order.
-func AlignReceivers(total float64, senders, receivers []int, mode AlignMode) []int {
-	return AlignReceiversInto(nil, total, senders, receivers, mode)
-}
-
-// AlignReceiversInto is AlignReceivers writing the aligned rank order into
-// dst (grown as needed), so hot mapping paths can recycle candidate
-// buffers instead of allocating one per evaluated placement. dst must not
-// alias receivers. The returned slice always has len(receivers) elements,
-// every one of them written.
-func AlignReceiversInto(dst []int, total float64, senders, receivers []int, mode AlignMode) []int {
-	if mode == AlignNone || len(receivers) == 0 {
-		return append(dst[:0], receivers...)
-	}
-	if Overlap(senders, receivers) == 0 {
-		// Disjoint sets cannot keep any byte local: nothing to align, and
-		// the bitset test skips the rank map and matrix entirely.
-		return append(dst[:0], receivers...)
-	}
-	senderRank := make(map[int]int, len(senders))
-	for r, p := range senders {
-		senderRank[p] = r
-	}
-	var shared []int // processors in both sets
-	for _, p := range receivers {
-		if _, ok := senderRank[p]; ok {
-			shared = append(shared, p)
-		}
-	}
-	if len(shared) == 0 {
-		return append(dst[:0], receivers...)
-	}
-	m := BlockMatrix(total, len(senders), len(receivers))
-	q := len(receivers)
-
-	// benefit[s][j]: bytes kept local if shared proc s takes receiver rank j.
-	benefit := func(proc, j int) float64 { return m.At(senderRank[proc], j) }
-
-	rankOf := make(map[int]int, len(shared)) // proc -> chosen receiver rank
-	switch mode {
-	case AlignHungarian:
-		// Square |q|×|q| problem: rows are receiver slots; the first
-		// len(shared) rows are the shared processors, the rest are dummy
-		// (zero benefit everywhere).
-		w := make([][]float64, q)
-		for i := range w {
-			w[i] = make([]float64, q)
-		}
-		for si, p := range shared {
-			for j := 0; j < q; j++ {
-				w[si][j] = benefit(p, j)
-			}
-		}
-		asg, _ := assign.MaxWeight(w)
-		for si, p := range shared {
-			rankOf[p] = asg[si]
-		}
-	case AlignGreedy:
-		type cand struct {
-			proc, j int
-			b       float64
-		}
-		var cands []cand
-		for _, p := range shared {
-			for j := 0; j < q; j++ {
-				if b := benefit(p, j); b > 0 {
-					cands = append(cands, cand{p, j, b})
-				}
-			}
-		}
-		sort.Slice(cands, func(a, b int) bool {
-			if cands[a].b != cands[b].b {
-				return cands[a].b > cands[b].b
-			}
-			if cands[a].proc != cands[b].proc {
-				return cands[a].proc < cands[b].proc
-			}
-			return cands[a].j < cands[b].j
-		})
-		usedRank := make([]bool, q)
-		for _, c := range cands {
-			if _, done := rankOf[c.proc]; done || usedRank[c.j] {
-				continue
-			}
-			rankOf[c.proc] = c.j
-			usedRank[c.j] = true
-		}
-	}
-
-	var out []int
-	if cap(dst) >= q {
-		out = dst[:q]
-	} else {
-		out = make([]int, q)
-	}
-	taken := make([]bool, q)
-	placed := make(map[int]bool, len(rankOf))
-	for p, r := range rankOf {
-		out[r] = p
-		taken[r] = true
-		placed[p] = true
-	}
-	slot := 0
-	for _, p := range receivers {
-		if placed[p] {
-			continue
-		}
-		for taken[slot] {
-			slot++
-		}
-		out[slot] = p
-		taken[slot] = true
-	}
-	return out
-}
+// Alignment (the §II-A receiver rank-order optimization) lives in align.go.

@@ -69,126 +69,41 @@ func ExecuteOpts(g *dag.Graph, costs *moldable.Costs, cl *platform.Cluster, s *c
 		return nil, err
 	}
 	n := g.N()
-	res := &Result{
-		Start:      make([]float64, n),
-		Finish:     make([]float64, n),
-		EdgeFinish: make([]float64, len(g.Edges)),
+	rp := &replay{
+		g: g, costs: costs, cl: cl, s: s,
+		res: &Result{
+			Start:      make([]float64, n),
+			Finish:     make([]float64, n),
+			EdgeFinish: make([]float64, len(g.Edges)),
+		},
+		eng:       sim.NewWithSolver(cl.LinkCapacities(), opts.Solver),
+		queues:    make([][]int, cl.P),
+		cursor:    make([]int, cl.P),
+		edgesLeft: make([]int, n),
+		started:   make([]bool, n),
 	}
-	eng := sim.NewWithSolver(cl.LinkCapacities(), opts.Solver)
+	res, eng := rp.res, rp.eng
 
 	// Per-processor task queues in mapping order.
-	queues := make([][]int, cl.P)
 	for _, t := range s.Order {
 		for _, p := range s.Procs[t] {
-			queues[p] = append(queues[p], t)
+			rp.queues[p] = append(rp.queues[p], t)
 		}
 	}
-	cursor := make([]int, cl.P)
-
-	edgesLeft := make([]int, n)
 	for t := 0; t < n; t++ {
-		edgesLeft[t] = len(g.In(t))
-	}
-	started := make([]bool, n)
-	finished := make([]bool, n)
-	nFinished := 0
-
-	var tryStart func(t int)
-	var onFinish func(t int)
-
-	atHead := func(t int) bool {
-		for _, p := range s.Procs[t] {
-			q := queues[p]
-			if cursor[p] >= len(q) || q[cursor[p]] != t {
-				return false
-			}
-		}
-		return true
-	}
-
-	startRedist := func(e dag.Edge) {
-		to := e.To
-		if e.Bytes <= 0 || g.Tasks[e.From].Virtual || g.Tasks[to].Virtual ||
-			len(s.Procs[e.From]) == 0 || len(s.Procs[to]) == 0 {
-			res.EdgeFinish[e.ID] = eng.Now()
-			edgesLeft[to]--
-			tryStart(to)
-			return
-		}
-		flows := redist.Flows(e.Bytes, s.Procs[e.From], s.Procs[to])
-		pending := 0
-		for _, f := range flows {
-			if f.SrcProc == f.DstProc {
-				res.LocalBytes += f.Bytes
-				continue
-			}
-			pending++
-		}
-		if pending == 0 {
-			res.EdgeFinish[e.ID] = eng.Now()
-			edgesLeft[to]--
-			tryStart(to)
-			return
-		}
-		eid := e.ID
-		remaining := pending
-		for _, f := range flows {
-			if f.SrcProc == f.DstProc {
-				continue
-			}
-			links, lat := cl.Route(f.SrcProc, f.DstProc)
-			rateCap := cl.EffectiveBandwidth(f.SrcProc, f.DstProc)
-			res.RemoteBytes += f.Bytes
-			res.FlowCount++
-			eng.StartFlow(links, rateCap, lat, f.Bytes, func() {
-				remaining--
-				if remaining == 0 {
-					res.EdgeFinish[eid] = eng.Now()
-					edgesLeft[to]--
-					tryStart(to)
-				}
-			})
-		}
-	}
-
-	onFinish = func(t int) {
-		res.Finish[t] = eng.Now()
-		finished[t] = true
-		nFinished++
-		for _, p := range s.Procs[t] {
-			cursor[p]++
-			if cursor[p] < len(queues[p]) {
-				tryStart(queues[p][cursor[p]])
-			}
-		}
-		for _, eid := range g.Out(t) {
-			startRedist(g.Edges[eid])
-		}
-	}
-
-	tryStart = func(t int) {
-		if started[t] || edgesLeft[t] > 0 || !atHead(t) {
-			return
-		}
-		started[t] = true
-		res.Start[t] = eng.Now()
-		dur := 0.0
-		if !g.Tasks[t].Virtual {
-			dur = costs.Time(t, len(s.Procs[t]))
-		}
-		eng.After(dur, func() { onFinish(t) })
+		rp.edgesLeft[t] = len(g.In(t))
 	}
 
 	// Seed: any task with no in-edges can start (typically the entry).
 	for t := 0; t < n; t++ {
-		if edgesLeft[t] == 0 {
-			tryStart(t)
+		if rp.edgesLeft[t] == 0 {
+			rp.tryStart(t)
 		}
 	}
 	eng.Run()
 
-	if nFinished != n {
-		return nil, fmt.Errorf("simdag: replay stalled with %d/%d tasks finished", nFinished, n)
+	if rp.nFinished != n {
+		return nil, fmt.Errorf("simdag: replay stalled with %d/%d tasks finished", rp.nFinished, n)
 	}
 	for t := 0; t < n; t++ {
 		if res.Finish[t] > res.Makespan {
@@ -196,6 +111,164 @@ func ExecuteOpts(g *dag.Graph, costs *moldable.Costs, cl *platform.Cluster, s *c
 		}
 	}
 	return res, nil
+}
+
+// replay is the mutable state of one schedule replay. It exists so the
+// event handlers are methods instead of a web of mutually recursive
+// closures, and so the per-edge completion callbacks and per-flow route
+// slices can be pooled: short replays (the FFT scenario classes) used to be
+// bounded by this setup machinery — one closure per wire flow, one route
+// slice per flow — rather than by rate solving.
+type replay struct {
+	g     *dag.Graph
+	costs *moldable.Costs
+	cl    *platform.Cluster
+	s     *core.Schedule
+	res   *Result
+	eng   *sim.Engine
+
+	queues    [][]int // per-processor task queues in mapping order
+	cursor    []int
+	edgesLeft []int
+	started   []bool
+	nFinished int
+
+	waitPool []*edgeWait       // recycled edge-completion trackers
+	slab     []platform.LinkID // route arena: flows slice one chunked backing array
+}
+
+// edgeWait tracks one in-flight redistribution: the pending wire-flow count
+// of its edge, plus a prebuilt completion callback handed to every flow.
+// Pooling the waits makes the per-flow callback allocation-free — the
+// closure is created once per pool entry, not once per flow.
+type edgeWait struct {
+	rp        *replay
+	remaining int
+	eid, to   int
+	cb        func()
+}
+
+func (rp *replay) getWait() *edgeWait {
+	if k := len(rp.waitPool); k > 0 {
+		w := rp.waitPool[k-1]
+		rp.waitPool = rp.waitPool[:k-1]
+		return w
+	}
+	w := &edgeWait{rp: rp}
+	w.cb = w.flowDone
+	return w
+}
+
+func (w *edgeWait) flowDone() {
+	w.remaining--
+	if w.remaining > 0 {
+		return
+	}
+	rp, eid, to := w.rp, w.eid, w.to
+	rp.waitPool = append(rp.waitPool, w) // all flows done: recycle before any restart
+	rp.res.EdgeFinish[eid] = rp.eng.Now()
+	rp.edgesLeft[to]--
+	rp.tryStart(to)
+}
+
+// route returns a private route slice carved out of the replay's arena:
+// one backing-array allocation per routeChunk links instead of one per
+// flow. The sub-slices stay valid for the flows' whole lives (growing the
+// arena swaps in a fresh chunk; old chunks are kept alive by their flows).
+func (rp *replay) route(src, dst int) ([]platform.LinkID, float64) {
+	const routeChunk = 1024
+	if cap(rp.slab)-len(rp.slab) < 4 {
+		rp.slab = make([]platform.LinkID, 0, routeChunk)
+	}
+	base := len(rp.slab)
+	links, lat := rp.cl.AppendRoute(rp.slab, src, dst)
+	rp.slab = links
+	return links[base:len(links):len(links)], lat
+}
+
+func (rp *replay) atHead(t int) bool {
+	for _, p := range rp.s.Procs[t] {
+		q := rp.queues[p]
+		if rp.cursor[p] >= len(q) || q[rp.cursor[p]] != t {
+			return false
+		}
+	}
+	return true
+}
+
+// startRedist expands one edge into wire flows. The banded block matrix is
+// traversed directly (twice: once to count and account local bytes, once to
+// start the flows) — with a validated schedule the processor lists are
+// duplicate-free, so the (sender, receiver) pairs are distinct and the
+// flow-merging map the old redist.Flows expansion carried was a no-op.
+func (rp *replay) startRedist(e dag.Edge) {
+	g, s, res, eng := rp.g, rp.s, rp.res, rp.eng
+	to := e.To
+	if e.Bytes <= 0 || g.Tasks[e.From].Virtual || g.Tasks[to].Virtual ||
+		len(s.Procs[e.From]) == 0 || len(s.Procs[to]) == 0 {
+		res.EdgeFinish[e.ID] = eng.Now()
+		rp.edgesLeft[to]--
+		rp.tryStart(to)
+		return
+	}
+	senders, receivers := s.Procs[e.From], s.Procs[to]
+	pending := 0
+	local := 0.0
+	redist.VisitBlocks(e.Bytes, len(senders), len(receivers), func(i, j int, v float64) {
+		if senders[i] == receivers[j] {
+			local += v
+		} else {
+			pending++
+		}
+	})
+	res.LocalBytes += local
+	if pending == 0 {
+		res.EdgeFinish[e.ID] = eng.Now()
+		rp.edgesLeft[to]--
+		rp.tryStart(to)
+		return
+	}
+	w := rp.getWait()
+	w.remaining = pending
+	w.eid, w.to = e.ID, to
+	redist.VisitBlocks(e.Bytes, len(senders), len(receivers), func(i, j int, v float64) {
+		src, dst := senders[i], receivers[j]
+		if src == dst {
+			return
+		}
+		links, lat := rp.route(src, dst)
+		rateCap := rp.cl.EffectiveBandwidth(src, dst)
+		res.RemoteBytes += v
+		res.FlowCount++
+		eng.StartFlow(links, rateCap, lat, v, w.cb)
+	})
+}
+
+func (rp *replay) onFinish(t int) {
+	rp.res.Finish[t] = rp.eng.Now()
+	rp.nFinished++
+	for _, p := range rp.s.Procs[t] {
+		rp.cursor[p]++
+		if rp.cursor[p] < len(rp.queues[p]) {
+			rp.tryStart(rp.queues[p][rp.cursor[p]])
+		}
+	}
+	for _, eid := range rp.g.Out(t) {
+		rp.startRedist(rp.g.Edges[eid])
+	}
+}
+
+func (rp *replay) tryStart(t int) {
+	if rp.started[t] || rp.edgesLeft[t] > 0 || !rp.atHead(t) {
+		return
+	}
+	rp.started[t] = true
+	rp.res.Start[t] = rp.eng.Now()
+	dur := 0.0
+	if !rp.g.Tasks[t].Virtual {
+		dur = rp.costs.Time(t, len(rp.s.Procs[t]))
+	}
+	rp.eng.After(dur, func() { rp.onFinish(t) })
 }
 
 // Gantt renders a plain-text Gantt chart of a replay (one line per

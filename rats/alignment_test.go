@@ -1,0 +1,69 @@
+package rats
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAlignmentRoundTrip: every defined mode's name parses back to itself,
+// case-insensitively.
+func TestAlignmentRoundTrip(t *testing.T) {
+	for _, m := range []AlignmentMode{AlignmentHungarian, AlignmentGreedy, AlignmentNone, AlignmentAuto} {
+		got, err := ParseAlignment(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseAlignment(%q) = (%v, %v), want (%v, nil)", m.String(), got, err, m)
+		}
+		upper, err := ParseAlignment("  " + strings.ToUpper(m.String()) + " ")
+		if err != nil || upper != m {
+			t.Errorf("ParseAlignment upper-case round-trip failed for %v", m)
+		}
+	}
+	if _, err := ParseAlignment("optimal"); err == nil {
+		t.Error("ParseAlignment must reject unknown names")
+	}
+	if s := AlignmentMode(42).String(); s != "AlignmentMode(42)" {
+		t.Errorf("out-of-range String() = %q", s)
+	}
+}
+
+// TestWithAlignmentValidation: out-of-range modes are configuration errors
+// surfaced by Schedule, like every other invalid option.
+func TestWithAlignmentValidation(t *testing.T) {
+	s := New(WithAlignment(AlignmentMode(42)))
+	if _, err := s.Schedule(chainDAG(t)); err == nil {
+		t.Fatal("Schedule must surface an invalid alignment mode")
+	}
+	ok := New(WithAlignment(AlignmentAuto))
+	if ok.Alignment() != AlignmentAuto {
+		t.Fatalf("Alignment() = %v, want auto", ok.Alignment())
+	}
+	if _, err := ok.Schedule(chainDAG(t)); err != nil {
+		t.Fatalf("auto alignment schedule failed: %v", err)
+	}
+}
+
+// TestAlignmentModesSchedule runs the same DAG under every mode: all must
+// produce valid results; hungarian and auto coincide on small clusters
+// (auto's exact cap is far above any paper-scale allocation), and none
+// must never keep more bytes local than hungarian.
+func TestAlignmentModesSchedule(t *testing.T) {
+	d := Random(RandomSpec{N: 40, Width: 0.6, Density: 0.5, Regularity: 0.8, Layered: true, Seed: 5})
+	results := map[AlignmentMode]*Result{}
+	for _, m := range []AlignmentMode{AlignmentHungarian, AlignmentGreedy, AlignmentNone, AlignmentAuto} {
+		s := New(WithStrategy(TimeCost), WithAlignment(m))
+		res, err := s.Schedule(d)
+		if err != nil {
+			t.Fatalf("mode %v: %v", m, err)
+		}
+		results[m] = res
+	}
+	if h, a := results[AlignmentHungarian], results[AlignmentAuto]; h.Makespan != a.Makespan ||
+		h.LocalBytes != a.LocalBytes {
+		t.Errorf("auto and hungarian diverged below the exact cap: makespan %g vs %g, local %g vs %g",
+			a.Makespan, h.Makespan, a.LocalBytes, h.LocalBytes)
+	}
+	if results[AlignmentNone].LocalBytes > results[AlignmentHungarian].LocalBytes+1e-9 {
+		t.Errorf("disabled alignment kept more bytes local (%g) than hungarian (%g)",
+			results[AlignmentNone].LocalBytes, results[AlignmentHungarian].LocalBytes)
+	}
+}

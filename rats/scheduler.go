@@ -25,6 +25,7 @@ type Scheduler struct {
 	strategy   Strategy
 	allocator  Allocator
 	flowSolver FlowSolver
+	alignment  AlignmentMode
 
 	mapOpts   core.Options
 	allocOpts alloc.Options
@@ -73,6 +74,14 @@ func New(opts ...Option) *Scheduler {
 			s.err = err
 		} else {
 			s.simOpts.Solver = fs
+		}
+	}
+	if s.err == nil {
+		am, err := s.alignment.redistAlign()
+		if err != nil {
+			s.err = err
+		} else {
+			s.mapOpts.Align = am
 		}
 	}
 	return s
