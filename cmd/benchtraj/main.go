@@ -49,6 +49,11 @@ type Measurement struct {
 	BPerOp    float64 `json:"b_op,omitempty"`
 	AllocsOp  float64 `json:"allocs_op,omitempty"`
 	MallocsOp float64 `json:"mallocs_op,omitempty"`
+
+	// BenchmarkServe custom metrics (b.ReportMetric units).
+	P50Ns       float64 `json:"p50_ns,omitempty"`
+	P99Ns       float64 `json:"p99_ns,omitempty"`
+	SchedPerSec float64 `json:"sched_per_sec,omitempty"`
 }
 
 // Entry is one trajectory point.
@@ -64,11 +69,14 @@ type Entry struct {
 	SimAllocRatio map[string]float64 `json:"sim_allocs_ratio_geomean,omitempty"`
 	MapNs         map[string]float64 `json:"map_ns_geomean,omitempty"`
 	MapAllocs     map[string]float64 `json:"map_allocs_mean,omitempty"`
+	ServeP50Ms    map[string]float64 `json:"serve_p50_ms,omitempty"`
+	ServeP99Ms    map[string]float64 `json:"serve_p99_ms,omitempty"`
+	ServeRate     map[string]float64 `json:"serve_sched_per_sec,omitempty"`
 	Benchmarks    []Measurement      `json:"benchmarks"`
 }
 
 func main() {
-	family := flag.String("family", "alloc", "benchmark family: alloc (allocation/mapping/estimation), sim (flow-level replay) or map (mapping phase)")
+	family := flag.String("family", "alloc", "benchmark family: alloc (allocation/mapping/estimation), sim (flow-level replay), map (mapping phase) or serve (ratsd service)")
 	file := flag.String("file", "", "trajectory file to append to (default: BENCH_<family>.json)")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
 	label := flag.String("label", "", "entry label (default: current git short hash)")
@@ -80,9 +88,9 @@ func main() {
 		*file = "BENCH_" + *family + ".json"
 	}
 	switch *family {
-	case "alloc", "sim", "map":
+	case "alloc", "sim", "map", "serve":
 	default:
-		fmt.Fprintf(os.Stderr, "benchtraj: unknown family %q (want alloc, sim or map)\n", *family)
+		fmt.Fprintf(os.Stderr, "benchtraj: unknown family %q (want alloc, sim, map or serve)\n", *family)
 		os.Exit(1)
 	}
 	if *pattern == "" {
@@ -91,6 +99,8 @@ func main() {
 			*pattern = "^(BenchmarkAlloc|BenchmarkMap|BenchmarkRedistTime)$"
 		case "map":
 			*pattern = "^BenchmarkMap$"
+		case "serve":
+			*pattern = "^BenchmarkServe$"
 		case "sim":
 			*pattern = "^BenchmarkSim$"
 			if *smoke {
@@ -121,8 +131,12 @@ func run(family, file, benchtime, label, pattern string, smoke bool) error {
 		}
 	}
 
+	pkg := "."
+	if family == "serve" {
+		pkg = "./internal/serve/"
+	}
 	out, err := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
-		"-benchtime", benchtime, "-benchmem", ".").CombinedOutput()
+		"-benchtime", benchtime, "-benchmem", pkg).CombinedOutput()
 	if err != nil {
 		return fmt.Errorf("go test -bench failed: %w\n%s", err, out)
 	}
@@ -171,6 +185,10 @@ func run(family, file, benchtime, label, pattern string, smoke bool) error {
 	case "map":
 		entry.MapNs = mapGeomeans(ms, func(m Measurement) float64 { return m.NsPerOp })
 		entry.MapAllocs = mapMeans(ms, func(m Measurement) float64 { return m.AllocsOp })
+	case "serve":
+		entry.ServeP50Ms = serveMetric(ms, func(m Measurement) float64 { return m.P50Ns / 1e6 })
+		entry.ServeP99Ms = serveMetric(ms, func(m Measurement) float64 { return m.P99Ns / 1e6 })
+		entry.ServeRate = serveMetric(ms, func(m Measurement) float64 { return m.SchedPerSec })
 	}
 
 	if smoke {
@@ -224,6 +242,12 @@ func parseBenchOutput(out string) []Measurement {
 				m.AllocsOp = v
 			case "mallocs/op":
 				m.MallocsOp = v
+			case "p50-ns":
+				m.P50Ns = v
+			case "p99-ns":
+				m.P99Ns = v
+			case "sched/s":
+				m.SchedPerSec = v
 			}
 		}
 		if m.NsPerOp > 0 {
@@ -379,6 +403,27 @@ func mapMeans(ms []Measurement, metric func(Measurement) float64) map[string]flo
 	out := map[string]float64{}
 	for cluster, n := range counts {
 		out[cluster] = math.Round(sum[cluster]/float64(n)*100) / 100
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// serveMetric extracts one BenchmarkServe/<cluster> custom metric per
+// cluster. The serve family has exactly one shape per cluster, so no
+// averaging is involved — the derivation just lifts the custom-unit
+// metrics into the per-cluster summary maps the trajectory compares.
+func serveMetric(ms []Measurement, metric func(Measurement) float64) map[string]float64 {
+	out := map[string]float64{}
+	for _, m := range ms {
+		parts := strings.Split(m.Name, "/")
+		if len(parts) != 2 || parts[0] != "BenchmarkServe" {
+			continue
+		}
+		if v := metric(m); v > 0 {
+			out[parts[1]] = math.Round(v*100) / 100
+		}
 	}
 	if len(out) == 0 {
 		return nil

@@ -1,0 +1,93 @@
+// Command ratsd is the batched scheduling service: a long-running
+// HTTP+JSON daemon over the rats pipeline. Requests with an identical
+// (cluster, options) configuration are grouped into batches and executed
+// from a pool of reusable scheduler contexts, so sustained request
+// streams pay the marginal cost of one mapping run, not the setup cost of
+// a fresh scheduler.
+//
+// Usage:
+//
+//	ratsd [-addr :8080] [-max-batch 16] [-max-wait 2ms] [-max-queue 1024]
+//	      [-workers N] [-timeout 30s] [-log-level info]
+//
+// Endpoints:
+//
+//	POST /v1/schedule  schedule one DAG; see internal/serve.ScheduleRequest
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /metrics      counters, latency quantiles, recent request records
+//
+// SIGINT/SIGTERM starts a graceful drain: intake stops with 503, every
+// already-accepted request is executed and answered, then the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxBatch := flag.Int("max-batch", 16, "flush a batch at this many requests")
+	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "flush a non-full batch after this long")
+	maxQueue := flag.Int("max-queue", 1024, "shed load beyond this many queued requests")
+	workers := flag.Int("workers", 0, "batch executor goroutines (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "ratsd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	srv := serve.NewServer(serve.ServerConfig{
+		Batch: serve.Config{
+			MaxBatch: *maxBatch,
+			MaxWait:  *maxWait,
+			MaxQueue: *maxQueue,
+			Workers:  *workers,
+		},
+		DefaultTimeout: *timeout,
+		Log:            log,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-stop
+		log.Info("ratsd shutting down", "signal", sig.String())
+		// Stop intake first (new connections refused, in-flight handlers
+		// keep running), then drain the queue so every accepted request
+		// is answered before the process exits.
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		srv.Drain()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Error("shutdown", "error", err)
+		}
+	}()
+
+	log.Info("ratsd listening", "addr", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Error("serve", "error", err)
+		os.Exit(1)
+	}
+	<-done
+}

@@ -74,6 +74,18 @@ func NewEstimator(cl *platform.Cluster) *Estimator {
 	return e
 }
 
+// Reset discards the per-run EdgeRedistTime memo while keeping every
+// backing allocation (the hash buckets, entry slab, key arena and the
+// per-processor scratch), readying the estimator for the next mapping run.
+// The memo is keyed by (edge ID, receiver rank order), which only
+// determines the estimate within a single run — sender sets change from
+// graph to graph — so a pooled context must call Reset between runs.
+func (e *Estimator) Reset() {
+	clear(e.memoIdx)
+	e.memoEnts = e.memoEnts[:0]
+	e.memoKeys = e.memoKeys[:0]
+}
+
 func (e *Estimator) ensureScratch() {
 	if e.outBytes == nil {
 		e.outBytes = make([]float64, e.cl.P)

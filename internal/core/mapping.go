@@ -114,16 +114,13 @@ func DefaultNaive(s Strategy) Options {
 // Map runs the mapping phase on graph g with the given first-step
 // allocation and returns the resulting schedule. The allocation slice is
 // not modified (RATS adaptations are recorded in Schedule.Alloc).
+//
+// Map builds a fresh MapContext per call; callers scheduling a stream of
+// DAGs on one cluster should hold a MapContext and call its Map method,
+// which reuses the cluster-sized scratch, the estimator and the alignment
+// engine across runs.
 func Map(g *dag.Graph, costs *moldable.Costs, cl *platform.Cluster, alloc []int, opts Options) *Schedule {
-	m := &mapper{
-		g:     g,
-		costs: costs,
-		cl:    cl,
-		est:   NewEstimator(cl),
-		opts:  opts,
-		alloc: append([]int(nil), alloc...),
-	}
-	return m.run()
+	return NewMapContext(cl).Map(g, costs, alloc, opts)
 }
 
 // mapper holds the mutable state of one mapping run.
@@ -134,14 +131,22 @@ type mapper struct {
 	est   *Estimator
 	opts  Options
 
+	// Escaping per-run state: alloc, procs, start, finish and order are
+	// handed to the returned Schedule (the schedule-ownership handoff), so
+	// they are allocated fresh on every run even under a pooled MapContext.
 	alloc  []int     // working allocation (modified by RATS)
 	procs  [][]int   // assigned processor sets, rank order
 	start  []float64 // estimated start times
 	finish []float64 // estimated finish times
-	avail  []float64 // processor availability
-	mapped []bool
 	order  []int
-	bl     []float64 // static bottom-level priorities
+
+	// Reusable per-run scratch, sized by the graph and fully rewritten (or
+	// cleared) at the start of each run.
+	avail     []float64 // processor availability
+	mapped    []bool
+	bl        []float64 // static bottom-level priorities
+	predsLeft []int
+	readyBuf  []int
 
 	// byAvail holds all processor IDs sorted by (availability, ID). A
 	// commit only changes the availability of the ≤k processors the task
@@ -191,26 +196,31 @@ type mapper struct {
 
 func (m *mapper) run() *Schedule {
 	n := m.g.N()
+	// Escaping arrays: owned by the returned Schedule, fresh every run.
 	m.procs = make([][]int, n)
 	m.start = make([]float64, n)
 	m.finish = make([]float64, n)
-	m.avail = make([]float64, m.cl.P)
-	m.mapped = make([]bool, n)
 	m.order = make([]int, 0, n)
-	m.claimed = make([]bool, n)
-	m.byAvail = make([]int, m.cl.P)
+	// Task-sized scratch, grown (never shrunk) and cleared per run.
+	// sortKey needs no clearing: sortReady writes every ready task's key
+	// before the secondary sort reads it.
+	m.mapped = growCleared(m.mapped, n)
+	m.claimed = growCleared(m.claimed, n)
+	if cap(m.sortKey) < n {
+		m.sortKey = make([]float64, n)
+	}
+	m.sortKey = m.sortKey[:n]
+	// Cluster-sized scratch: restore the initial all-idle state.
+	for i := range m.avail {
+		m.avail[i] = 0
+	}
 	for i := range m.byAvail {
 		m.byAvail[i] = i // all availabilities are 0: sorted by ID
 	}
-	m.availKept = make([]int, 0, m.cl.P)
-	m.availTouched = make([]int, 0, m.cl.P)
-	m.touchedMark = make([]bool, m.cl.P)
-	m.sortKey = make([]float64, n)
-	m.sorter.m = m
 
 	// Static priorities: bottom levels over allocated execution times and
 	// contention-free edge estimates (§II-C).
-	m.bl = m.g.BottomLevels(
+	m.bl = m.g.BottomLevelsInto(m.bl,
 		func(t int) float64 {
 			if m.g.Tasks[t].Virtual {
 				return 0
@@ -221,11 +231,14 @@ func (m *mapper) run() *Schedule {
 	)
 
 	remaining := n
-	predsLeft := make([]int, n)
+	if cap(m.predsLeft) < n {
+		m.predsLeft = make([]int, n)
+	}
+	predsLeft := m.predsLeft[:n]
 	for t := 0; t < n; t++ {
 		predsLeft[t] = len(m.g.In(t))
 	}
-	ready := make([]int, 0, n)
+	ready := m.readyBuf[:0]
 	for remaining > 0 {
 		// Wave: every unmapped task whose predecessors are all mapped
 		// (Algorithm 1, lines 3–6).
@@ -256,6 +269,7 @@ func (m *mapper) run() *Schedule {
 			}
 		}
 	}
+	m.readyBuf = ready
 
 	sched := &Schedule{
 		Alloc:     m.alloc,
@@ -266,6 +280,17 @@ func (m *mapper) run() *Schedule {
 		TotalWork: m.totalWork(),
 	}
 	return sched
+}
+
+// growCleared returns a length-n all-false slice, reusing buf's storage
+// when it is large enough.
+func growCleared(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
 }
 
 func (m *mapper) totalWork() float64 {

@@ -353,13 +353,9 @@ func TestIncrementalAvailabilityOrder(t *testing.T) {
 			g := gen.Random(gen.RandomParams{
 				N: 40, Width: 0.8, Regularity: 0.2, Density: 0.5, Jump: 2, Seed: 99})
 			costs, a := setup(g, cl)
-			m := &mapper{
-				g: g, costs: costs, cl: cl,
-				est:   NewEstimator(cl),
-				opts:  DefaultNaive(st),
-				alloc: append([]int(nil), a...),
-			}
-			m.run()
+			c := NewMapContext(cl)
+			c.Map(g, costs, a, DefaultNaive(st))
+			m := &c.m // avail and byAvail are context scratch, retained after the run
 			ref := make([]int, cl.P)
 			for i := range ref {
 				ref[i] = i

@@ -14,11 +14,21 @@ type EdgeCostFunc func(edge int) float64
 // "blevel") priority used by CPA, HCPA and RATS: the farther a task is from
 // the end of the application, the more critical it is.
 func (g *Graph) BottomLevels(cost CostFunc, edgeCost EdgeCostFunc) []float64 {
+	return g.BottomLevelsInto(nil, cost, edgeCost)
+}
+
+// BottomLevelsInto is BottomLevels writing into bl, which is grown when too
+// small (pass nil to allocate). Every entry is overwritten; callers reusing
+// a buffer across graphs need no clearing. Returns nil on a cyclic graph.
+func (g *Graph) BottomLevelsInto(bl []float64, cost CostFunc, edgeCost EdgeCostFunc) []float64 {
 	order, ok := g.TopoOrder()
 	if !ok {
 		return nil
 	}
-	bl := make([]float64, g.N())
+	if cap(bl) < g.N() {
+		bl = make([]float64, g.N())
+	}
+	bl = bl[:g.N()]
 	for i := len(order) - 1; i >= 0; i-- {
 		t := order[i]
 		best := 0.0

@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/rats"
+)
+
+// ErrOverloaded is returned by Submit when the bounded queue is full; the
+// HTTP layer translates it into 429 with a Retry-After hint.
+var ErrOverloaded = errors.New("serve: queue full")
+
+// ErrDraining is returned by Submit once Drain has begun; the HTTP layer
+// translates it into 503.
+var ErrDraining = errors.New("serve: draining")
+
+// Config bounds the batcher. Zero values select the defaults noted per
+// field.
+type Config struct {
+	// MaxBatch flushes a group as soon as it holds this many requests
+	// (default 16).
+	MaxBatch int
+	// MaxWait flushes a non-empty group this long after its first request
+	// arrived, so a lone request never waits for company (default 2ms).
+	MaxWait time.Duration
+	// MaxQueue bounds the number of accepted-but-unfinished requests;
+	// beyond it Submit sheds load (default 1024).
+	MaxQueue int
+	// Workers is the number of batch executors (default GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 1024
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// job is one accepted scheduling request traveling through the batcher.
+// Exactly one jobResult is delivered on resp for every job Submit accepts
+// — including during drain — which is the invariant the graceful-shutdown
+// guarantee rests on.
+type job struct {
+	id    uint64
+	key   string // canonical (cluster, options) batch key
+	spec  *requestSpec
+	dag   *rats.DAG
+	tasks int
+
+	ctx context.Context // carries the per-request deadline
+	enq time.Time       // when Submit accepted the job
+
+	resp chan jobResult // buffered(1): the executor never blocks sending
+}
+
+type jobResult struct {
+	result  *rats.Result
+	metrics RequestMetrics
+}
+
+// batcher groups submitted jobs by their batch key and hands size- or
+// deadline-triggered batches to a worker pool running the supplied run
+// function. A single collector goroutine owns the grouping state, so it
+// needs no locks; Submit and Drain coordinate through a RWMutex that
+// makes "send on the intake channel" and "close the intake channel"
+// mutually exclusive.
+type batcher struct {
+	cfg Config
+	run func([]*job)
+
+	in     chan *job
+	flushq chan []*job
+	queued atomic.Int64
+
+	mu       sync.RWMutex // guards draining vs. the in-channel send
+	draining bool
+
+	workersWG     sync.WaitGroup
+	collectorDone chan struct{}
+}
+
+func newBatcher(cfg Config, run func([]*job)) *batcher {
+	cfg = cfg.withDefaults()
+	b := &batcher{
+		cfg: cfg,
+		run: run,
+		in:  make(chan *job),
+		// Capacity MaxQueue: at most MaxQueue jobs are in flight and every
+		// batch holds ≥ 1 job, so the collector can always flush without
+		// blocking, which in turn keeps Submit prompt.
+		flushq:        make(chan []*job, cfg.MaxQueue),
+		collectorDone: make(chan struct{}),
+	}
+	go b.collect()
+	b.workersWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go b.workerLoop()
+	}
+	return b
+}
+
+// Submit hands a job to the batcher. It returns ErrDraining after Drain
+// has begun and ErrOverloaded when MaxQueue jobs are already in flight;
+// on nil return the job's resp channel is guaranteed to receive exactly
+// one result.
+func (b *batcher) Submit(j *job) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.draining {
+		return ErrDraining
+	}
+	if b.queued.Add(1) > int64(b.cfg.MaxQueue) {
+		b.queued.Add(-1)
+		return ErrOverloaded
+	}
+	b.in <- j
+	return nil
+}
+
+// Queued reports the number of accepted-but-unfinished jobs.
+func (b *batcher) Queued() int { return int(b.queued.Load()) }
+
+// Drain stops intake and blocks until every accepted job has been
+// executed and answered. It is idempotent only in effect, not in API:
+// call it once, from the shutdown path.
+func (b *batcher) Drain() {
+	b.mu.Lock()
+	b.draining = true
+	b.mu.Unlock()
+	close(b.in)
+	<-b.collectorDone
+	b.workersWG.Wait()
+}
+
+// group is the collector's per-key accumulation state.
+type group struct {
+	jobs     []*job
+	deadline time.Time // enq of the first job + MaxWait
+}
+
+// collect is the single goroutine that owns the grouping state. It
+// flushes a group when it reaches MaxBatch or when its deadline passes,
+// and on intake close it flushes every remainder before closing flushq.
+func (b *batcher) collect() {
+	defer close(b.collectorDone)
+	groups := make(map[string]*group)
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
+	defer timer.Stop()
+
+	flush := func(key string) {
+		g := groups[key]
+		delete(groups, key)
+		b.flushq <- g.jobs
+	}
+
+	for {
+		// Arm the timer for the earliest group deadline, if any.
+		var wait <-chan time.Time
+		if len(groups) > 0 {
+			earliest := time.Time{}
+			for _, g := range groups {
+				if earliest.IsZero() || g.deadline.Before(earliest) {
+					earliest = g.deadline
+				}
+			}
+			timer.Reset(time.Until(earliest))
+			wait = timer.C
+		}
+
+		select {
+		case j, ok := <-b.in:
+			if !ok {
+				for key := range groups {
+					flush(key)
+				}
+				close(b.flushq)
+				return
+			}
+			g := groups[j.key]
+			if g == nil {
+				g = &group{deadline: time.Now().Add(b.cfg.MaxWait)}
+				groups[j.key] = g
+			}
+			g.jobs = append(g.jobs, j)
+			if len(g.jobs) >= b.cfg.MaxBatch {
+				flush(j.key)
+			}
+		case <-wait:
+			now := time.Now()
+			for key, g := range groups {
+				if !g.deadline.After(now) {
+					flush(key)
+				}
+			}
+		}
+
+		// Disarm and drain the timer so the next Reset starts clean
+		// (go.mod targets a Go version without auto-draining timers).
+		if wait != nil && !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}
+}
+
+func (b *batcher) workerLoop() {
+	defer b.workersWG.Done()
+	for batch := range b.flushq {
+		b.run(batch)
+		b.queued.Add(-int64(len(batch)))
+	}
+}

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testJob builds a minimal job for batcher-level tests (no DAG needed:
+// the run function is supplied by the test).
+func testJob(id uint64, key string) *job {
+	return &job{
+		id:   id,
+		key:  key,
+		ctx:  context.Background(),
+		enq:  time.Now(),
+		resp: make(chan jobResult, 1),
+	}
+}
+
+func TestBatcherFlushesOnSize(t *testing.T) {
+	batches := make(chan []*job, 8)
+	b := newBatcher(Config{MaxBatch: 4, MaxWait: time.Hour, Workers: 1},
+		func(batch []*job) { batches <- batch })
+	defer b.Drain()
+
+	for i := uint64(0); i < 4; i++ {
+		if err := b.Submit(testJob(i, "k")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case batch := <-batches:
+		if len(batch) != 4 {
+			t.Fatalf("size-triggered batch has %d jobs, want 4", len(batch))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no flush despite MaxBatch submissions (MaxWait is an hour)")
+	}
+}
+
+func TestBatcherFlushesOnDeadline(t *testing.T) {
+	batches := make(chan []*job, 8)
+	b := newBatcher(Config{MaxBatch: 100, MaxWait: 10 * time.Millisecond, Workers: 1},
+		func(batch []*job) { batches <- batch })
+	defer b.Drain()
+
+	if err := b.Submit(testJob(1, "k")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case batch := <-batches:
+		if len(batch) != 1 {
+			t.Fatalf("deadline batch has %d jobs, want 1", len(batch))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("lone request never flushed: MaxWait timer did not fire")
+	}
+}
+
+func TestBatcherSeparatesKeys(t *testing.T) {
+	batches := make(chan []*job, 8)
+	b := newBatcher(Config{MaxBatch: 2, MaxWait: 10 * time.Millisecond, Workers: 1},
+		func(batch []*job) { batches <- batch })
+	defer b.Drain()
+
+	b.Submit(testJob(1, "a"))
+	b.Submit(testJob(2, "b"))
+	b.Submit(testJob(3, "a"))
+
+	got := map[string]int{}
+	for i := 0; i < 2; i++ {
+		select {
+		case batch := <-batches:
+			got[batch[0].key] += len(batch)
+			for _, j := range batch[1:] {
+				if j.key != batch[0].key {
+					t.Fatalf("batch mixes keys %q and %q", batch[0].key, j.key)
+				}
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("only %d batches arrived, want 2 (one per key)", i)
+		}
+	}
+	if got["a"] != 2 || got["b"] != 1 {
+		t.Fatalf("per-key job counts %v, want a:2 b:1", got)
+	}
+}
+
+func TestBatcherShedsPastMaxQueue(t *testing.T) {
+	release := make(chan struct{})
+	b := newBatcher(Config{MaxBatch: 1, MaxWait: time.Millisecond, MaxQueue: 2, Workers: 1},
+		func(batch []*job) { <-release })
+	defer func() { close(release); b.Drain() }()
+
+	// Fill the queue: the single worker blocks on the first batch, so
+	// subsequent jobs pile up against MaxQueue.
+	if err := b.Submit(testJob(1, "k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Submit(testJob(2, "k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Submit(testJob(3, "k")); err != ErrOverloaded {
+		t.Fatalf("third submit past MaxQueue=2: got %v, want ErrOverloaded", err)
+	}
+}
+
+// TestBatcherDrainAnswersEveryAcceptedJob is the graceful-shutdown
+// contract: once Submit returns nil, the job's run is guaranteed, even
+// when Drain races with submission.
+func TestBatcherDrainAnswersEveryAcceptedJob(t *testing.T) {
+	var ran atomic.Int64
+	b := newBatcher(Config{MaxBatch: 4, MaxWait: time.Millisecond, Workers: 2},
+		func(batch []*job) {
+			time.Sleep(200 * time.Microsecond) // make drain race mid-batch
+			ran.Add(int64(len(batch)))
+		})
+
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if b.Submit(testJob(uint64(g*100+i), "k")) == nil {
+					accepted.Add(1)
+				}
+			}
+		}(g)
+	}
+	time.Sleep(time.Millisecond) // let some submissions land first
+	b.Drain()
+	wg.Wait()
+
+	if got, want := ran.Load(), accepted.Load(); got != want {
+		t.Fatalf("drain lost work: %d jobs ran, %d were accepted", got, want)
+	}
+	if accepted.Load() == 0 {
+		t.Fatal("no job was accepted before the drain; race never exercised")
+	}
+	// Post-drain submissions are refused.
+	if err := b.Submit(testJob(999, "k")); err != ErrDraining {
+		t.Fatalf("post-drain submit: got %v, want ErrDraining", err)
+	}
+}

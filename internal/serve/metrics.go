@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RequestMetrics is the flat per-request observability record: everything
+// the service knows about one scheduling request, in one row — where the
+// request waited (queue), how it was amortized (batch size), where the
+// pipeline spent its time (alloc/map/sim) and what came out (status).
+// Flat scalar fields keep it trivially CSV/JSON/log-line friendly.
+type RequestMetrics struct {
+	ID        uint64 `json:"id"`
+	Cluster   string `json:"cluster"`
+	Strategy  string `json:"strategy"`
+	Allocator string `json:"allocator"`
+	Tasks     int    `json:"tasks"`
+
+	BatchSize   int     `json:"batch_size"`
+	QueueWaitMs float64 `json:"queue_wait_ms"`
+	AllocMs     float64 `json:"alloc_ms"`
+	MapMs       float64 `json:"map_ms"`
+	SimMs       float64 `json:"sim_ms"`
+	TotalMs     float64 `json:"total_ms"`
+
+	Status int    `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// ms converts a duration to the milliseconds the wire format carries.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// histogram counts durations in exponential buckets: bucket i spans
+// [histBase·2^i, histBase·2^(i+1)). With histBase = 50µs the last bucket
+// starts at ≈ 28 minutes — far beyond any sane request deadline.
+type histogram struct {
+	counts [histBuckets]uint64
+	total  uint64
+}
+
+const (
+	histBase    = 50 * time.Microsecond
+	histBuckets = 26
+)
+
+func (h *histogram) observe(d time.Duration) {
+	i := 0
+	for bound := histBase; i < histBuckets-1 && d >= bound; bound *= 2 {
+		i++
+	}
+	h.counts[i]++
+	h.total++
+}
+
+// quantile returns the upper bound of the bucket holding the q-quantile
+// observation (a conservative estimate: true value ≤ the reported one),
+// or 0 with no observations.
+func (h *histogram) quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.total-1))
+	var seen uint64
+	bound := histBase
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i]
+		if seen > rank {
+			return bound
+		}
+		bound *= 2
+	}
+	return bound
+}
+
+// Collector aggregates per-request records into the service-level counters
+// and latency distribution the /metrics endpoint serves. All methods are
+// safe for concurrent use.
+type Collector struct {
+	nextID    atomic.Uint64
+	mu        sync.Mutex
+	started   time.Time
+	accepted  uint64
+	completed uint64
+	failed    uint64 // pipeline or request errors (4xx/5xx except shed)
+	shed      uint64 // rejected with 429 at the queue boundary
+	expired   uint64 // deadline passed before execution started
+	batches   uint64
+	batched   uint64 // items summed over batches (mean batch size = batched/batches)
+	latency   histogram
+	queueWait histogram
+
+	recent [recentRing]RequestMetrics
+	nRec   int // total records ever written into the ring
+}
+
+const recentRing = 256
+
+// NewCollector returns an empty collector anchored at now.
+func NewCollector() *Collector {
+	return &Collector{started: time.Now()}
+}
+
+// NextID issues the next request ID.
+func (c *Collector) NextID() uint64 { return c.nextID.Add(1) }
+
+// Accepted counts a request admitted past the queue boundary.
+func (c *Collector) Accepted() {
+	c.mu.Lock()
+	c.accepted++
+	c.mu.Unlock()
+}
+
+// Shed counts a request rejected at the queue boundary (429).
+func (c *Collector) Shed() {
+	c.mu.Lock()
+	c.shed++
+	c.mu.Unlock()
+}
+
+// Batch records one executed batch of the given size.
+func (c *Collector) Batch(size int) {
+	c.mu.Lock()
+	c.batches++
+	c.batched += uint64(size)
+	c.mu.Unlock()
+}
+
+// Record files one finished request.
+func (c *Collector) Record(m RequestMetrics) {
+	c.mu.Lock()
+	switch {
+	case m.Status == statusOK:
+		c.completed++
+	case m.Status == statusTimeout:
+		c.expired++
+	default:
+		c.failed++
+	}
+	c.latency.observe(time.Duration(m.TotalMs * float64(time.Millisecond)))
+	c.queueWait.observe(time.Duration(m.QueueWaitMs * float64(time.Millisecond)))
+	c.recent[c.nRec%recentRing] = m
+	c.nRec++
+	c.mu.Unlock()
+}
+
+// Snapshot is the /metrics document: counters, throughput, latency
+// quantiles and the most recent per-request records (newest first).
+type Snapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Accepted      uint64  `json:"accepted"`
+	Completed     uint64  `json:"completed"`
+	Failed        uint64  `json:"failed"`
+	Shed          uint64  `json:"shed"`
+	Expired       uint64  `json:"expired"`
+
+	Batches       uint64  `json:"batches"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+
+	SchedulesPerSecond float64 `json:"schedules_per_second"`
+	LatencyP50Ms       float64 `json:"latency_p50_ms"`
+	LatencyP90Ms       float64 `json:"latency_p90_ms"`
+	LatencyP99Ms       float64 `json:"latency_p99_ms"`
+	QueueWaitP50Ms     float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99Ms     float64 `json:"queue_wait_p99_ms"`
+
+	Recent []RequestMetrics `json:"recent"`
+}
+
+// Snapshot captures the current aggregate state.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	up := time.Since(c.started).Seconds()
+	s := Snapshot{
+		UptimeSeconds:  up,
+		Accepted:       c.accepted,
+		Completed:      c.completed,
+		Failed:         c.failed,
+		Shed:           c.shed,
+		Expired:        c.expired,
+		Batches:        c.batches,
+		LatencyP50Ms:   ms(c.latency.quantile(0.50)),
+		LatencyP90Ms:   ms(c.latency.quantile(0.90)),
+		LatencyP99Ms:   ms(c.latency.quantile(0.99)),
+		QueueWaitP50Ms: ms(c.queueWait.quantile(0.50)),
+		QueueWaitP99Ms: ms(c.queueWait.quantile(0.99)),
+	}
+	if c.batches > 0 {
+		s.MeanBatchSize = float64(c.batched) / float64(c.batches)
+	}
+	if up > 0 {
+		s.SchedulesPerSecond = float64(c.completed) / up
+	}
+	n := c.nRec
+	if n > recentRing {
+		n = recentRing
+	}
+	s.Recent = make([]RequestMetrics, 0, n)
+	for i := 0; i < n; i++ {
+		s.Recent = append(s.Recent, c.recent[((c.nRec-1-i)%recentRing+recentRing)%recentRing])
+	}
+	return s
+}

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/rats"
+)
+
+// maxPooledPerKey bounds how many idle contexts a single cluster key
+// retains; beyond it returned contexts are dropped for the GC. Matching
+// the worker-pool width would be exact, but a small constant is simpler
+// and a dropped context costs only its next rebuild.
+const maxPooledPerKey = 32
+
+// ctxPool keeps reusable scheduler contexts keyed by cluster. Contexts
+// depend only on the target cluster — not on strategy or any other option
+// — so pooling per cluster maximizes reuse across differently-configured
+// batches.
+type ctxPool struct {
+	mu   sync.Mutex
+	free map[string][]*rats.Context
+}
+
+// get pops an idle context for the cluster key, or builds a fresh one.
+func (p *ctxPool) get(key string, cl *rats.Cluster) (*rats.Context, error) {
+	p.mu.Lock()
+	if s := p.free[key]; len(s) > 0 {
+		c := s[len(s)-1]
+		s[len(s)-1] = nil
+		p.free[key] = s[:len(s)-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	return rats.NewContext(cl)
+}
+
+// put returns a context to the pool once its batch is done.
+func (p *ctxPool) put(key string, c *rats.Context) {
+	p.mu.Lock()
+	if p.free == nil {
+		p.free = make(map[string][]*rats.Context)
+	}
+	if len(p.free[key]) < maxPooledPerKey {
+		p.free[key] = append(p.free[key], c)
+	}
+	p.mu.Unlock()
+}
+
+// idle reports the total number of pooled contexts, for observability.
+func (p *ctxPool) idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, s := range p.free {
+		n += len(s)
+	}
+	return n
+}

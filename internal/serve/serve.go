@@ -1,0 +1,449 @@
+// Package serve implements ratsd: a long-running HTTP+JSON scheduling
+// service over the rats facade. Requests are grouped by identical
+// (cluster, options) configuration and executed in batches from a pool of
+// reusable scheduler contexts, so the per-request cost converges to the
+// marginal cost of one mapping run. The service sheds load past a bounded
+// queue, honors per-request deadlines, drains gracefully, and reports a
+// flat per-request timing record through /metrics.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/rats"
+)
+
+const (
+	statusOK      = http.StatusOK
+	statusTimeout = http.StatusGatewayTimeout
+)
+
+// ClusterSpec is the wire form of rats.ClusterSpec for requests that
+// target a custom cluster instead of a preset one.
+type ClusterSpec struct {
+	Name            string  `json:"name,omitempty"`
+	Procs           int     `json:"procs"`
+	SpeedGFlops     float64 `json:"speed_gflops"`
+	LinkLatency     float64 `json:"link_latency,omitempty"`
+	LinkBandwidth   float64 `json:"link_bandwidth,omitempty"`
+	CabinetSize     int     `json:"cabinet_size,omitempty"`
+	UplinkLatency   float64 `json:"uplink_latency,omitempty"`
+	UplinkBandwidth float64 `json:"uplink_bandwidth,omitempty"`
+	WMax            float64 `json:"wmax,omitempty"`
+}
+
+// ScheduleRequest is the POST /v1/schedule body. Every field but dag is
+// optional; omitted fields select the library defaults, and pointer
+// fields distinguish "absent" from a legitimate zero.
+type ScheduleRequest struct {
+	Cluster     string       `json:"cluster,omitempty"`      // preset name; default grillon
+	ClusterSpec *ClusterSpec `json:"cluster_spec,omitempty"` // custom cluster; overrides Cluster
+	Strategy    string       `json:"strategy,omitempty"`
+	Allocator   string       `json:"allocator,omitempty"`
+	Alignment   string       `json:"alignment,omitempty"`
+	FlowSolver  string       `json:"flow_solver,omitempty"`
+	MinDelta    *float64     `json:"min_delta,omitempty"`
+	MaxDelta    *float64     `json:"max_delta,omitempty"`
+	MinRho      *float64     `json:"min_rho,omitempty"`
+	Packing     *bool        `json:"packing,omitempty"`
+	TimeoutMs   int          `json:"timeout_ms,omitempty"` // per-request deadline; default ServerConfig.DefaultTimeout
+
+	DAG json.RawMessage `json:"dag"` // rats.DAG wire format (MarshalJSON schema)
+}
+
+// ScheduleResponse is the /v1/schedule response envelope. Result is the
+// versioned rats wire document (schema rats.result/v1); Serve is the
+// service-side timing record for this request. The two are deliberately
+// separate fields rather than an embedded Result, whose MarshalJSON would
+// otherwise swallow the envelope.
+type ScheduleResponse struct {
+	Result json.RawMessage `json:"result,omitempty"`
+	Serve  RequestMetrics  `json:"serve"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// requestSpec is a parsed, validated scheduling configuration plus the
+// canonical keys it batches and pools under.
+type requestSpec struct {
+	cluster   *rats.Cluster
+	strategy  rats.Strategy
+	allocator rats.Allocator
+	alignment rats.AlignmentMode
+	flow      rats.FlowSolver
+
+	minDelta, maxDelta float64
+	hasDelta           bool
+	minRho             float64
+	hasRho             bool
+	packing            *bool
+
+	clusterKey string // context-pool key: cluster identity only
+	batchKey   string // batcher key: cluster identity + every option
+}
+
+func parseSpec(req *ScheduleRequest) (*requestSpec, error) {
+	sp := &requestSpec{}
+	switch {
+	case req.ClusterSpec != nil:
+		c, err := rats.NewCluster(rats.ClusterSpec{
+			Name:            req.ClusterSpec.Name,
+			Procs:           req.ClusterSpec.Procs,
+			SpeedGFlops:     req.ClusterSpec.SpeedGFlops,
+			LinkLatency:     req.ClusterSpec.LinkLatency,
+			LinkBandwidth:   req.ClusterSpec.LinkBandwidth,
+			CabinetSize:     req.ClusterSpec.CabinetSize,
+			UplinkLatency:   req.ClusterSpec.UplinkLatency,
+			UplinkBandwidth: req.ClusterSpec.UplinkBandwidth,
+			WMax:            req.ClusterSpec.WMax,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sp.cluster = c
+		// Two custom clusters batch together only when every physical
+		// parameter matches, so the key is the full spec, not the name.
+		sp.clusterKey = fmt.Sprintf("custom:%+v", *req.ClusterSpec)
+	case req.Cluster != "":
+		c, err := rats.ClusterByName(req.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		sp.cluster = c
+		sp.clusterKey = "preset:" + c.Name()
+	default:
+		sp.cluster = rats.Grillon()
+		sp.clusterKey = "preset:" + sp.cluster.Name()
+	}
+
+	var err error
+	if req.Strategy != "" {
+		if sp.strategy, err = rats.ParseStrategy(req.Strategy); err != nil {
+			return nil, err
+		}
+	}
+	if req.Allocator != "" {
+		if sp.allocator, err = rats.ParseAllocator(req.Allocator); err != nil {
+			return nil, err
+		}
+	}
+	if req.Alignment != "" {
+		if sp.alignment, err = rats.ParseAlignment(req.Alignment); err != nil {
+			return nil, err
+		}
+	}
+	if req.FlowSolver != "" {
+		if sp.flow, err = rats.ParseFlowSolver(req.FlowSolver); err != nil {
+			return nil, err
+		}
+	}
+	if req.MinDelta != nil || req.MaxDelta != nil {
+		if req.MinDelta == nil || req.MaxDelta == nil {
+			return nil, fmt.Errorf("serve: min_delta and max_delta must be set together")
+		}
+		sp.minDelta, sp.maxDelta, sp.hasDelta = *req.MinDelta, *req.MaxDelta, true
+	}
+	if req.MinRho != nil {
+		sp.minRho, sp.hasRho = *req.MinRho, true
+	}
+	sp.packing = req.Packing
+
+	packing := "default"
+	if sp.packing != nil {
+		packing = strconv.FormatBool(*sp.packing)
+	}
+	delta := "default"
+	if sp.hasDelta {
+		delta = fmt.Sprintf("%g:%g", sp.minDelta, sp.maxDelta)
+	}
+	rho := "default"
+	if sp.hasRho {
+		rho = fmt.Sprintf("%g", sp.minRho)
+	}
+	sp.batchKey = fmt.Sprintf("%s|%s/%s/%s/%s/%s/%s/%s",
+		sp.clusterKey, sp.strategy, sp.allocator, sp.alignment, sp.flow,
+		delta, rho, packing)
+	return sp, nil
+}
+
+// options expands the spec into the rats functional options.
+func (sp *requestSpec) options() []rats.Option {
+	opts := []rats.Option{
+		rats.WithCluster(sp.cluster),
+		rats.WithStrategy(sp.strategy),
+		rats.WithAllocator(sp.allocator),
+		rats.WithAlignment(sp.alignment),
+		rats.WithFlowSolver(sp.flow),
+	}
+	if sp.hasDelta {
+		opts = append(opts, rats.WithDeltaBounds(sp.minDelta, sp.maxDelta))
+	}
+	if sp.hasRho {
+		opts = append(opts, rats.WithMinRho(sp.minRho))
+	}
+	if sp.packing != nil {
+		opts = append(opts, rats.WithPacking(*sp.packing))
+	}
+	return opts
+}
+
+// ServerConfig configures a Server. Zero values select the defaults
+// noted per field.
+type ServerConfig struct {
+	Batch Config // batcher bounds; see Config
+
+	// MaxBodyBytes bounds a request body (default 8 MiB).
+	MaxBodyBytes int64
+	// DefaultTimeout is the per-request deadline applied when a request
+	// does not carry timeout_ms (default 30s).
+	DefaultTimeout time.Duration
+	// Log receives structured service logs (default slog.Default()).
+	Log *slog.Logger
+}
+
+// Server is the ratsd service core: the HTTP handlers, the batcher, the
+// context pool and the metrics collector. Create with NewServer, expose
+// via Handler, shut down with Drain.
+type Server struct {
+	cfg      ServerConfig
+	log      *slog.Logger
+	batcher  *batcher
+	pool     ctxPool
+	metrics  *Collector
+	draining atomic.Bool
+}
+
+// NewServer assembles a Server and starts its batcher.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.Default()
+	}
+	s := &Server{cfg: cfg, log: cfg.Log, metrics: NewCollector()}
+	s.batcher = newBatcher(cfg.Batch, s.runBatch)
+	s.log.Info("ratsd serving",
+		"max_batch", s.batcher.cfg.MaxBatch,
+		"max_wait", s.batcher.cfg.MaxWait,
+		"max_queue", s.batcher.cfg.MaxQueue,
+		"workers", s.batcher.cfg.Workers)
+	return s
+}
+
+// Metrics returns the server's collector, for tests and embedding.
+func (s *Server) Metrics() *Collector { return s.metrics }
+
+// Drain stops intake (new requests get 503) and blocks until every
+// already-accepted request has been executed and answered.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.log.Info("ratsd draining", "queued", s.batcher.Queued())
+	s.batcher.Drain()
+	s.log.Info("ratsd drained")
+}
+
+// Handler returns the service's HTTP routes: POST /v1/schedule,
+// GET /healthz, GET /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/schedule", s.handleSchedule)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError emits the response envelope for a request that failed before
+// (or instead of) producing a result.
+func (s *Server) writeError(w http.ResponseWriter, m RequestMetrics, err error) {
+	m.Error = err.Error()
+	writeJSON(w, m.Status, ScheduleResponse{Serve: m, Error: m.Error})
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	id := s.metrics.NextID()
+	m := RequestMetrics{ID: id}
+	enq := time.Now()
+
+	var req ScheduleRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		m.Status = http.StatusBadRequest
+		s.writeError(w, m, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	spec, err := parseSpec(&req)
+	if err != nil {
+		m.Status = http.StatusBadRequest
+		s.writeError(w, m, err)
+		return
+	}
+	m.Cluster = spec.cluster.Name()
+	m.Strategy = spec.strategy.String()
+	m.Allocator = spec.allocator.String()
+
+	if len(req.DAG) == 0 {
+		m.Status = http.StatusBadRequest
+		s.writeError(w, m, fmt.Errorf("request misses the dag field"))
+		return
+	}
+	d := rats.NewDAG()
+	if err := json.Unmarshal(req.DAG, d); err != nil {
+		m.Status = http.StatusBadRequest
+		s.writeError(w, m, fmt.Errorf("decoding dag: %w", err))
+		return
+	}
+	if err := d.Build(); err != nil {
+		m.Status = http.StatusUnprocessableEntity
+		s.writeError(w, m, err)
+		return
+	}
+	m.Tasks = d.TaskCount()
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	j := &job{
+		id:    id,
+		key:   spec.batchKey,
+		spec:  spec,
+		dag:   d,
+		tasks: m.Tasks,
+		ctx:   ctx,
+		enq:   enq,
+		resp:  make(chan jobResult, 1),
+	}
+	if err := s.batcher.Submit(j); err != nil {
+		switch err {
+		case ErrOverloaded:
+			s.metrics.Shed()
+			m.Status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "1")
+			s.log.Warn("request shed", "id", id, "queued", s.batcher.Queued())
+		case ErrDraining:
+			m.Status = http.StatusServiceUnavailable
+		default:
+			m.Status = http.StatusInternalServerError
+		}
+		s.writeError(w, m, err)
+		return
+	}
+	s.metrics.Accepted()
+
+	// Submit accepted, so exactly one result is guaranteed to arrive —
+	// even through a drain. Waiting unconditionally keeps the executor
+	// the single authority on the request's outcome.
+	jr := <-j.resp
+	if jr.result == nil {
+		s.writeError(w, jr.metrics, fmt.Errorf("%s", jr.metrics.Error))
+		return
+	}
+	blob, err := json.Marshal(jr.result)
+	if err != nil {
+		jr.metrics.Status = http.StatusInternalServerError
+		s.writeError(w, jr.metrics, err)
+		return
+	}
+	writeJSON(w, jr.metrics.Status, ScheduleResponse{Result: blob, Serve: jr.metrics})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, text := http.StatusOK, "serving"
+	if s.draining.Load() {
+		status, text = http.StatusServiceUnavailable, "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status": text,
+		"queued": s.batcher.Queued(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.Snapshot()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// runBatch executes one batch: all jobs share a batch key, hence an
+// identical configuration, so a single Scheduler plus one pooled context
+// serves them all. Every job receives exactly one jobResult.
+func (s *Server) runBatch(batch []*job) {
+	spec := batch[0].spec
+	s.metrics.Batch(len(batch))
+	sched := rats.New(spec.options()...)
+
+	cctx, cerr := s.pool.get(spec.clusterKey, spec.cluster)
+	for _, j := range batch {
+		m := RequestMetrics{
+			ID:        j.id,
+			Cluster:   spec.cluster.Name(),
+			Strategy:  spec.strategy.String(),
+			Allocator: spec.allocator.String(),
+			Tasks:     j.tasks,
+			BatchSize: len(batch),
+		}
+		start := time.Now()
+		m.QueueWaitMs = ms(start.Sub(j.enq))
+
+		switch {
+		case cerr != nil:
+			m.Status = http.StatusInternalServerError
+			m.Error = cerr.Error()
+		case j.ctx.Err() != nil:
+			// The deadline passed while the job sat in the queue: don't
+			// burn scheduler time on an answer nobody is waiting for.
+			m.Status = statusTimeout
+			m.Error = fmt.Sprintf("deadline passed before execution: %v", j.ctx.Err())
+		default:
+			res, err := sched.ScheduleIn(cctx, j.dag)
+			if err != nil {
+				m.Status = http.StatusUnprocessableEntity
+				m.Error = err.Error()
+			} else {
+				m.Status = statusOK
+				m.AllocMs = ms(res.Phases.Alloc)
+				m.MapMs = ms(res.Phases.Map)
+				m.SimMs = ms(res.Phases.Sim)
+				m.TotalMs = ms(time.Since(j.enq))
+				s.metrics.Record(m)
+				s.log.Debug("scheduled",
+					"id", j.id, "dag", j.dag.Name, "cluster", m.Cluster,
+					"strategy", m.Strategy, "tasks", m.Tasks,
+					"batch", len(batch), "total_ms", m.TotalMs)
+				j.resp <- jobResult{result: res, metrics: m}
+				continue
+			}
+		}
+		m.TotalMs = ms(time.Since(j.enq))
+		s.metrics.Record(m)
+		s.log.Warn("request failed",
+			"id", j.id, "status", m.Status, "error", m.Error)
+		j.resp <- jobResult{metrics: m}
+	}
+	if cerr == nil {
+		s.pool.put(spec.clusterKey, cctx)
+	}
+}

@@ -1,0 +1,389 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/rats"
+)
+
+func quietLog() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func newTestServer(t *testing.T, cfg ServerConfig) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Log == nil {
+		cfg.Log = quietLog()
+	}
+	s := NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func scheduleBody(t *testing.T, d *rats.DAG, fields map[string]any) []byte {
+	t.Helper()
+	blob, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := map[string]any{"dag": json.RawMessage(blob)}
+	for k, v := range fields {
+		req[k] = v
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func postSchedule(t *testing.T, url string, body []byte) (*http.Response, ScheduleResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/schedule", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr ScheduleResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("decoding response (HTTP %d): %v", resp.StatusCode, err)
+	}
+	return resp, sr
+}
+
+// TestServedResultMatchesLibrary is the end-to-end equivalence pin: the
+// result document a ratsd response carries must be byte-identical to what
+// the library's per-request Schedule produces for the same inputs — the
+// batching, pooling and context reuse may not change a single byte.
+func TestServedResultMatchesLibrary(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{})
+
+	cases := []struct {
+		dag    *rats.DAG
+		libOpt []rats.Option
+		fields map[string]any
+	}{
+		{rats.FFT(16, 1),
+			[]rats.Option{rats.WithCluster(rats.Grelon()), rats.WithStrategy(rats.TimeCost)},
+			map[string]any{"cluster": "grelon", "strategy": "time-cost"}},
+		{rats.Strassen(7),
+			[]rats.Option{rats.WithCluster(rats.Chti()), rats.WithStrategy(rats.Delta), rats.WithAllocator(rats.CPA)},
+			map[string]any{"cluster": "chti", "strategy": "delta", "allocator": "cpa"}},
+		{rats.Random(rats.RandomSpec{N: 30, Width: 0.5, Density: 0.4, Regularity: 0.7, Seed: 3, Layered: true}),
+			[]rats.Option{rats.WithCluster(rats.Big512()), rats.WithStrategy(rats.TimeCost), rats.WithMinRho(0.7)},
+			map[string]any{"cluster": "big512", "strategy": "time-cost", "min_rho": 0.7}},
+	}
+	for i, tc := range cases {
+		want, err := rats.New(tc.libOpt...).Schedule(tc.dag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBlob, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		resp, sr := postSchedule(t, ts.URL, scheduleBody(t, tc.dag, tc.fields))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("case %d: HTTP %d: %s", i, resp.StatusCode, sr.Error)
+		}
+		if string(sr.Result) != string(wantBlob) {
+			t.Fatalf("case %d: served result diverges from library:\n%s\nvs\n%s",
+				i, sr.Result, wantBlob)
+		}
+		if sr.Serve.TotalMs <= 0 || sr.Serve.BatchSize < 1 || sr.Serve.Tasks != tc.dag.TaskCount() {
+			t.Fatalf("case %d: serve metrics malformed: %+v", i, sr.Serve)
+		}
+		// The carried document passes the versioned decode.
+		if _, err := rats.DecodeResult(sr.Result); err != nil {
+			t.Fatalf("case %d: served result fails DecodeResult: %v", i, err)
+		}
+	}
+}
+
+// TestServedBatchSharesContext pushes many concurrent identical-config
+// requests through the server and verifies each response equals the
+// library result — under -race this also proves batch execution and
+// context pooling are data-race-free.
+func TestServedBatchSharesContext(t *testing.T) {
+	s, ts := newTestServer(t, ServerConfig{Batch: Config{MaxBatch: 8, MaxWait: 20 * time.Millisecond}})
+
+	const n = 32
+	dags := make([]*rats.DAG, n)
+	want := make([][]byte, n)
+	for i := range dags {
+		dags[i] = rats.Random(rats.RandomSpec{
+			N: 20 + i%3, Width: 0.6, Density: 0.5, Regularity: 0.8, Seed: int64(i), Layered: i%2 == 0,
+		})
+		r, err := rats.New(rats.WithCluster(rats.Grelon()), rats.WithStrategy(rats.TimeCost)).Schedule(dags[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i], _ = json.Marshal(r)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := scheduleBody(t, dags[i], map[string]any{"cluster": "grelon", "strategy": "time-cost"})
+			resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			var sr ScheduleResponse
+			if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("HTTP %d: %s", resp.StatusCode, sr.Error)
+				return
+			}
+			if string(sr.Result) != string(want[i]) {
+				errs[i] = fmt.Errorf("dag %d: served result diverges", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+
+	snap := s.Metrics().Snapshot()
+	if snap.Completed != n {
+		t.Fatalf("collector counted %d completed, want %d", snap.Completed, n)
+	}
+	if snap.MeanBatchSize <= 1 {
+		t.Errorf("mean batch size %.2f: concurrent identical requests never batched", snap.MeanBatchSize)
+	}
+}
+
+func TestServeSheddingReturns429(t *testing.T) {
+	s, ts := newTestServer(t, ServerConfig{
+		Batch: Config{MaxBatch: 1, MaxWait: time.Millisecond, MaxQueue: 1, Workers: 1},
+	})
+	// Flood a single-worker, single-slot queue with expensive requests:
+	// while one is being scheduled, later arrivals must be shed.
+	body := scheduleBody(t, rats.FFT(64, 1), map[string]any{"cluster": "big512", "strategy": "time-cost"})
+	var wg sync.WaitGroup
+	codes := make(chan int, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After header")
+				}
+			}
+			codes <- resp.StatusCode
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	shed, ok := 0, 0
+	for c := range codes {
+		switch c {
+		case http.StatusTooManyRequests:
+			shed++
+		case http.StatusOK:
+			ok++
+		}
+	}
+	if shed == 0 {
+		t.Fatal("16 concurrent requests against MaxQueue=1: none shed with 429")
+	}
+	if ok == 0 {
+		t.Fatal("no request succeeded at all")
+	}
+	if snap := s.Metrics().Snapshot(); snap.Shed == 0 {
+		t.Fatal("collector did not count the shed requests")
+	}
+}
+
+// TestServeDeadlineExpiresInQueue: a request whose deadline passes while
+// it waits must come back 504 without being scheduled.
+func TestServeDeadlineExpiresInQueue(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{
+		// MaxWait far beyond the request deadline: the job expires while
+		// grouped, before any worker touches it.
+		Batch: Config{MaxBatch: 100, MaxWait: 100 * time.Millisecond},
+	})
+	body := scheduleBody(t, rats.FFT(8, 1), map[string]any{"timeout_ms": 1})
+	resp, sr := postSchedule(t, ts.URL, body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("HTTP %d (%s), want 504", resp.StatusCode, sr.Error)
+	}
+	if sr.Result != nil {
+		t.Fatal("expired request still carries a result")
+	}
+	if sr.Serve.QueueWaitMs <= 0 {
+		t.Fatalf("expired request reports no queue wait: %+v", sr.Serve)
+	}
+}
+
+// TestServeDrainLosesNothing: every request accepted before the drain
+// gets a full 200 response; requests after the drain get 503.
+func TestServeDrainLosesNothing(t *testing.T) {
+	s, ts := newTestServer(t, ServerConfig{Batch: Config{MaxBatch: 4, MaxWait: 5 * time.Millisecond}})
+	body := scheduleBody(t, rats.FFT(16, 2), map[string]any{"cluster": "grelon"})
+
+	const n = 24
+	var wg sync.WaitGroup
+	codes := make(chan int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+			if err != nil {
+				codes <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	time.Sleep(2 * time.Millisecond) // let requests reach the queue
+	s.Drain()
+	wg.Wait()
+	close(codes)
+
+	for c := range codes {
+		// Accepted → 200. Refused at the drain boundary → 503. Nothing in
+		// between: no hung connection, no dropped accepted request.
+		if c != http.StatusOK && c != http.StatusServiceUnavailable {
+			t.Fatalf("request finished with %d, want 200 or 503", c)
+		}
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.Accepted != snap.Completed {
+		t.Fatalf("drain lost requests: accepted %d, completed %d", snap.Accepted, snap.Completed)
+	}
+
+	// healthz reflects the drained state.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after drain: HTTP %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestServeRejectsMalformedRequests(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"not json", `{`, http.StatusBadRequest},
+		{"no dag", `{"cluster":"grelon"}`, http.StatusBadRequest},
+		{"bad cluster", `{"cluster":"nope","dag":{"graph":{}}}`, http.StatusBadRequest},
+		{"bad strategy", `{"strategy":"nope","dag":{"graph":{}}}`, http.StatusBadRequest},
+		{"dag missing graph", `{"dag":{"name":"x"}}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, sr := postSchedule(t, ts.URL, []byte(tc.body))
+			if resp.StatusCode != tc.want {
+				t.Fatalf("HTTP %d, want %d (error %q)", resp.StatusCode, tc.want, sr.Error)
+			}
+			if sr.Error == "" {
+				t.Fatal("error response carries no error message")
+			}
+		})
+	}
+
+	// Method check.
+	resp, err := http.Get(ts.URL + "/v1/schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/schedule: HTTP %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestServeMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{})
+	body := scheduleBody(t, rats.Strassen(1), map[string]any{"cluster": "chti"})
+	if resp, sr := postSchedule(t, ts.URL, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule failed: HTTP %d %s", resp.StatusCode, sr.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Completed != 1 || snap.Accepted != 1 {
+		t.Fatalf("snapshot counts wrong: %+v", snap)
+	}
+	if snap.LatencyP50Ms <= 0 || snap.SchedulesPerSecond <= 0 {
+		t.Fatalf("latency/throughput not derived: %+v", snap)
+	}
+	if len(snap.Recent) != 1 || snap.Recent[0].Status != http.StatusOK {
+		t.Fatalf("recent ring wrong: %+v", snap.Recent)
+	}
+}
+
+// TestServeCustomClusterSpec drives a request with an inline cluster
+// description and checks it matches the library on the same custom
+// cluster.
+func TestServeCustomClusterSpec(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{})
+	spec := rats.ClusterSpec{Name: "lab", Procs: 24, SpeedGFlops: 5}
+	cl, err := rats.NewCluster(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rats.New(rats.WithCluster(cl)).Schedule(rats.FFT(8, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBlob, _ := json.Marshal(want)
+
+	body := scheduleBody(t, rats.FFT(8, 9), map[string]any{
+		"cluster_spec": map[string]any{"name": "lab", "procs": 24, "speed_gflops": 5},
+	})
+	resp, sr := postSchedule(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, sr.Error)
+	}
+	if string(sr.Result) != string(wantBlob) {
+		t.Fatalf("custom-cluster served result diverges:\n%s\nvs\n%s", sr.Result, wantBlob)
+	}
+}

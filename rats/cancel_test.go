@@ -1,0 +1,79 @@
+package rats
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestScheduleAllCancelMidBatch cancels the context while a large batch is
+// in flight and checks the documented contract: results for DAGs that
+// completed before the cancellation are returned, the cancellation error
+// is surfaced, and the worker pool winds down without leaking goroutines.
+// Run under -race by CI.
+func TestScheduleAllCancelMidBatch(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	// A batch large enough that cancellation after a few completions is
+	// guaranteed to land mid-batch even on a slow racy runner.
+	var dags []*DAG
+	for seed := int64(0); seed < 128; seed++ {
+		dags = append(dags, Random(RandomSpec{
+			N: 40, Width: 0.5, Density: 0.4, Regularity: 0.8, Layered: true, Seed: seed,
+		}))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := New(WithCluster(Grelon()), WithStrategy(TimeCost), WithWorkers(2))
+
+	go func() {
+		// Let a few DAGs complete, then pull the plug.
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	results, err := s.ScheduleAll(ctx, dags)
+
+	if len(results) != len(dags) {
+		t.Fatalf("got %d result slots, want %d", len(results), len(dags))
+	}
+	completed, skipped := 0, 0
+	for i, r := range results {
+		if r == nil {
+			skipped++
+			continue
+		}
+		completed++
+		if r.Makespan <= 0 || len(r.Placements) != dags[i].TaskCount() {
+			t.Fatalf("dag %d: completed result is malformed: %+v", i, r)
+		}
+	}
+	t.Logf("completed %d, skipped %d before cancellation", completed, skipped)
+	if skipped > 0 {
+		// The cancellation landed mid-batch: the error must surface it.
+		if err == nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("results skipped but error is %v, want context.Canceled", err)
+		}
+	} else if err != nil {
+		t.Fatalf("all DAGs completed yet ScheduleAll failed: %v", err)
+	}
+	if skipped == 0 {
+		t.Skip("batch finished before the cancellation; nothing mid-batch to observe")
+	}
+
+	// No goroutine leak: the pool must fully wind down. Allow the runtime
+	// a moment to retire worker goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,75 @@
+package rats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestScheduleInMatchesSchedule locks the pooled path to the per-request
+// path at the facade level: one reused Context serving a mixed stream of
+// strategies and DAGs must produce results that marshal to byte-identical
+// JSON (placements, metrics, stats — everything observable).
+func TestScheduleInMatchesSchedule(t *testing.T) {
+	cluster := Grelon()
+	cctx, err := NewContext(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strategy := range []Strategy{Baseline, Delta, TimeCost} {
+		for _, d := range batch() {
+			s := New(WithCluster(cluster), WithStrategy(strategy))
+			want, err := s.Schedule(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.ScheduleIn(cctx, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wb, _ := json.Marshal(want)
+			gb, _ := json.Marshal(got)
+			if string(wb) != string(gb) {
+				t.Fatalf("%v/%s: pooled result diverges:\n%s\nvs\n%s", strategy, d.Name, gb, wb)
+			}
+		}
+	}
+}
+
+// TestScheduleInClusterCompatibility: a context serves any scheduler whose
+// cluster is structurally identical (two Grelon() values), and rejects a
+// different cluster with a diagnosable error.
+func TestScheduleInClusterCompatibility(t *testing.T) {
+	cctx, err := NewContext(Grelon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct *Cluster value, same platform: compatible.
+	if _, err := New(WithCluster(Grelon())).ScheduleIn(cctx, FFT(4, 1)); err != nil {
+		t.Fatalf("structurally identical cluster rejected: %v", err)
+	}
+	// Different platform: rejected.
+	_, err = New(WithCluster(Chti())).ScheduleIn(cctx, FFT(4, 1))
+	if err == nil || !strings.Contains(err.Error(), "grelon") {
+		t.Fatalf("cross-cluster ScheduleIn: got %v, want cluster-mismatch error", err)
+	}
+}
+
+func TestScheduleInValidation(t *testing.T) {
+	cctx, err := NewContext(Grillon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New().ScheduleIn(nil, FFT(4, 1)); err == nil {
+		t.Error("nil context accepted")
+	}
+	if _, err := New().ScheduleIn(cctx, nil); err == nil {
+		t.Error("nil DAG accepted")
+	}
+	if _, err := New(WithWorkers(-1)).ScheduleIn(cctx, FFT(4, 1)); err == nil {
+		t.Error("configuration error not surfaced by ScheduleIn")
+	}
+	if _, err := NewContext(nil); err == nil {
+		t.Error("NewContext(nil) accepted")
+	}
+}

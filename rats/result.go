@@ -2,7 +2,9 @@ package rats
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dag"
@@ -21,6 +23,19 @@ type Placement struct {
 	Finish float64 `json:"finish"` // simulated finish time, seconds
 }
 
+// Phases records the wall-clock duration of each pipeline phase of one
+// scheduling run: first-step allocation, redistribution-aware mapping, and
+// the contention-aware replay. The service layer surfaces these per
+// request; they are measurements, not part of the versioned wire format.
+type Phases struct {
+	Alloc time.Duration
+	Map   time.Duration
+	Sim   time.Duration
+}
+
+// Total returns the summed pipeline time.
+func (p Phases) Total() time.Duration { return p.Alloc + p.Map + p.Sim }
+
 // Result is the typed outcome of one scheduling run. All fields are
 // immutable; a Result is safe for concurrent use.
 type Result struct {
@@ -28,6 +43,9 @@ type Result struct {
 	Cluster   string // target cluster name
 	Strategy  Strategy
 	Allocator Allocator
+
+	// Phases holds the wall-clock phase timings of this run.
+	Phases Phases
 
 	Makespan    float64 // simulated, contention-aware makespan, seconds
 	Estimate    float64 // the mapping engine's own contention-free estimate
@@ -148,9 +166,20 @@ func (st Stats) String() string {
 	}.String()
 }
 
-// resultJSON is the serialization schema of a Result: enums as their
-// round-trippable names, everything else verbatim.
-type resultJSON struct {
+// ResultSchemaV1 identifies version 1 of the Result wire format. Every
+// Result marshals with this value in its "schema" field; DecodeResult
+// refuses documents that carry a different (or no) version, so consumers
+// of ratsd responses fail loudly on a format they do not understand
+// instead of silently reading zero values.
+const ResultSchemaV1 = "rats.result/v1"
+
+// WireResult is the versioned serialization schema of a Result: enums as
+// their round-trippable names, everything else verbatim. It is the
+// document a ratsd response carries and what DecodeResult returns —
+// a plain data mirror of Result, without the replay internals that back
+// Gantt or ChromeTrace rendering.
+type WireResult struct {
+	Schema      string      `json:"schema"`
 	DAG         string      `json:"dag,omitempty"`
 	Cluster     string      `json:"cluster"`
 	Strategy    string      `json:"strategy"`
@@ -165,11 +194,13 @@ type resultJSON struct {
 	Stats       Stats       `json:"stats"`
 }
 
-// MarshalJSON implements json.Marshaler — the wire schema a future server
-// or CLI consumes. Strategy and allocator serialize as their ParseStrategy
-// / ParseAllocator round-trippable names.
+// MarshalJSON implements json.Marshaler — the wire schema ratsd responses
+// carry. Strategy and allocator serialize as their ParseStrategy /
+// ParseAllocator round-trippable names; the schema field is always
+// ResultSchemaV1.
 func (r *Result) MarshalJSON() ([]byte, error) {
-	return json.Marshal(resultJSON{
+	return json.Marshal(WireResult{
+		Schema:      ResultSchemaV1,
 		DAG:         r.DAGName,
 		Cluster:     r.Cluster,
 		Strategy:    r.Strategy.String(),
@@ -183,4 +214,18 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		Placements:  r.Placements,
 		Stats:       r.Stats(),
 	})
+}
+
+// DecodeResult parses a marshaled Result (a ratsd response body's result
+// document) and validates its schema version. Unknown or missing versions
+// are an error.
+func DecodeResult(data []byte) (*WireResult, error) {
+	var w WireResult
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("rats: decoding result: %w", err)
+	}
+	if w.Schema != ResultSchemaV1 {
+		return nil, fmt.Errorf("rats: result schema %q is not %q", w.Schema, ResultSchemaV1)
+	}
+	return &w, nil
 }

@@ -7,6 +7,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/core"
@@ -162,22 +163,34 @@ func WithEFTGuard(enabled bool) Option {
 
 // WithFixedAllocation bypasses the allocation procedure: procs[i] is the
 // processor count of the i-th real task in insertion order (virtual
-// connector tasks are skipped). The slice length must equal the DAG's real
-// task count; this is checked per scheduled DAG.
+// connector tasks are skipped). Every count must be ≥ 1 — that is checked
+// here, at configuration time, so a service rejects a nonsensical request
+// before it reaches a scheduler. The slice length and the upper bound
+// (count ≤ cluster size) are checked per scheduled DAG, where both are
+// known.
 func WithFixedAllocation(procs ...int) Option {
 	return func(s *Scheduler) {
 		if len(procs) == 0 {
 			s.fail("rats: WithFixedAllocation needs at least one entry")
 			return
 		}
+		for i, p := range procs {
+			if p < 1 {
+				s.fail("rats: WithFixedAllocation: entry %d is %d, want ≥ 1", i, p)
+				return
+			}
+		}
 		s.fixedAlloc = append([]int(nil), procs...)
 	}
 }
 
 // WithWorkers bounds the ScheduleAll worker pool (default: GOMAXPROCS).
+// n ≤ 0 — including the tempting "0 means default" — is rejected
+// explicitly: a service must not silently translate a malformed request
+// into an unbounded pool.
 func WithWorkers(n int) Option {
 	return func(s *Scheduler) {
-		if n < 1 {
+		if n <= 0 {
 			s.fail("rats: WithWorkers(%d): want ≥ 1", n)
 			return
 		}
@@ -208,13 +221,16 @@ func (s *Scheduler) Schedule(d *DAG) (*Result, error) {
 	if err := d.Build(); err != nil {
 		return nil, err
 	}
-	return s.run(d)
+	return s.run(d, nil)
 }
 
-// run executes the pipeline on a finalized DAG. It only reads shared
-// state, which is what makes concurrent batch scheduling race-free.
-func (s *Scheduler) run(d *DAG) (*Result, error) {
+// run executes the pipeline on a finalized DAG. With a nil context it only
+// reads shared state, which is what makes concurrent batch scheduling
+// race-free; with a pooled Context the mapping phase runs in the context's
+// reusable scratch (the caller serializes runs per context).
+func (s *Scheduler) run(d *DAG, sc *Context) (*Result, error) {
 	g, cl := d.g, s.cluster.pc
+	t0 := time.Now()
 	costs := moldable.NewCosts(g, cl.SpeedGFlops)
 
 	allocation, err := s.allocationFor(d)
@@ -224,13 +240,27 @@ func (s *Scheduler) run(d *DAG) (*Result, error) {
 	if allocation == nil {
 		allocation = alloc.Compute(g, costs, cl, s.allocOpts)
 	}
+	tAlloc := time.Now()
 
-	sched := core.Map(g, costs, cl, allocation, s.mapOpts)
+	var sched *core.Schedule
+	if sc != nil {
+		sched = sc.mc.Map(g, costs, allocation, s.mapOpts)
+	} else {
+		sched = core.Map(g, costs, cl, allocation, s.mapOpts)
+	}
+	tMap := time.Now()
 	sim, err := simdag.ExecuteOpts(g, costs, cl, sched, s.simOpts)
 	if err != nil {
 		return nil, fmt.Errorf("rats: %s on %s: %w", d.Name, cl.Name, err)
 	}
-	return newResult(d, s, sched, sim), nil
+	tSim := time.Now()
+	r := newResult(d, s, sched, sim)
+	r.Phases = Phases{
+		Alloc: tAlloc.Sub(t0),
+		Map:   tMap.Sub(tAlloc),
+		Sim:   tSim.Sub(tMap),
+	}
+	return r, nil
 }
 
 // allocationFor expands a fixed allocation over the DAG's task IDs, or
@@ -317,7 +347,7 @@ func (s *Scheduler) ScheduleAll(ctx context.Context, dags []*DAG) ([]*Result, er
 					errs[i] = err
 					continue
 				}
-				r, err := s.run(dags[i])
+				r, err := s.run(dags[i], nil)
 				if err != nil {
 					errs[i] = fmt.Errorf("dag %d (%s): %w", i, dags[i].Name, err)
 					cancel()

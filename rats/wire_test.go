@@ -1,0 +1,109 @@
+package rats
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestResultWireRoundTrip pins the versioned wire format (satellite of the
+// ratsd service): marshaling a Result and decoding it back must preserve
+// every field of the wire document, and the schema version must be
+// present.
+func TestResultWireRoundTrip(t *testing.T) {
+	res, err := New(WithCluster(Grelon()), WithStrategy(TimeCost), WithAllocator(HCPA)).
+		Schedule(FFT(8, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := DecodeResult(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Schema != ResultSchemaV1 {
+		t.Fatalf("decoded schema %q, want %q", w.Schema, ResultSchemaV1)
+	}
+	if w.DAG != res.DAGName || w.Cluster != res.Cluster ||
+		w.Strategy != res.Strategy.String() || w.Allocator != res.Allocator.String() {
+		t.Fatalf("identity fields diverge: %+v vs result %s/%s/%v/%v",
+			w, res.DAGName, res.Cluster, res.Strategy, res.Allocator)
+	}
+	if w.Makespan != res.Makespan || w.Estimate != res.Estimate ||
+		w.TotalWork != res.TotalWork || w.RemoteBytes != res.RemoteBytes ||
+		w.LocalBytes != res.LocalBytes || w.FlowCount != res.FlowCount {
+		t.Fatalf("metric fields diverge: %+v", w)
+	}
+	if !reflect.DeepEqual(w.Placements, res.Placements) {
+		t.Fatalf("placements diverge:\n got %+v\nwant %+v", w.Placements, res.Placements)
+	}
+	if !reflect.DeepEqual(w.Stats, res.Stats()) {
+		t.Fatalf("stats diverge: %+v vs %+v", w.Stats, res.Stats())
+	}
+
+	// Second round trip: the decoded document re-marshals to the same
+	// bytes, so responses can be archived and re-served verbatim.
+	blob2, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatalf("re-marshaled wire document differs:\n%s\nvs\n%s", blob2, blob)
+	}
+}
+
+func TestDecodeResultRejectsBadDocuments(t *testing.T) {
+	cases := map[string]string{
+		"missing schema": `{"cluster":"grelon","makespan":1}`,
+		"wrong version":  `{"schema":"rats.result/v999","cluster":"grelon"}`,
+		"not json":       `{"schema":`,
+		"empty":          ``,
+	}
+	for name, doc := range cases {
+		if _, err := DecodeResult([]byte(doc)); err == nil {
+			t.Errorf("%s: DecodeResult succeeded, want error", name)
+		}
+	}
+}
+
+// TestServiceOptionValidationTables is the service-hardening table
+// (satellite of ratsd): WithWorkers and WithFixedAllocation must reject
+// nonsensical values at configuration time with a diagnosable error, not
+// defer them to a per-DAG check or, worse, silently accept them.
+func TestServiceOptionValidationTables(t *testing.T) {
+	cases := []struct {
+		name    string
+		opt     Option
+		wantErr string // substring of the configuration error
+	}{
+		{"workers zero", WithWorkers(0), "WithWorkers(0)"},
+		{"workers negative", WithWorkers(-4), "WithWorkers(-4)"},
+		{"fixed alloc empty", WithFixedAllocation(), "at least one entry"},
+		{"fixed alloc zero count", WithFixedAllocation(4, 0, 2), "entry 1 is 0"},
+		{"fixed alloc negative count", WithFixedAllocation(-3), "entry 0 is -3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// The DAG is valid; only the option can be at fault, which
+			// proves the rejection happens at configuration time.
+			_, err := New(tc.opt).Schedule(chainDAG(t))
+			if err == nil {
+				t.Fatalf("Schedule succeeded, want configuration error")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// Valid values still pass.
+	for _, opt := range []Option{WithWorkers(1), WithWorkers(16), WithFixedAllocation(4, 4, 4)} {
+		if _, err := New(opt).Schedule(chainDAG(t)); err != nil {
+			t.Fatalf("valid option rejected: %v", err)
+		}
+	}
+}
