@@ -259,9 +259,15 @@ func BenchmarkTableVI_Degradation(b *testing.B) {
 // --- Hot-path benches (mapping & estimation at production scale) --------
 
 // hotPathClusters are the cluster-size sweep of the hot-path benches: the
-// paper's largest machine plus the two synthetic production-scale presets.
+// paper's largest machine plus the two synthetic production-scale presets,
+// and the heterogeneous variants of the first two — those keep the
+// vector-aware cost and per-link estimator branches on the recorded
+// trajectory next to the uniform fast paths.
 func hotPathClusters() []*platform.Cluster {
-	return []*platform.Cluster{platform.Grelon(), platform.Big512(), platform.Big1024()}
+	return []*platform.Cluster{
+		platform.Grelon(), platform.Big512(), platform.Big1024(),
+		platform.GrelonHet(), platform.Big512Het(),
+	}
 }
 
 // BenchmarkRedistTime measures one contention-free redistribution estimate
@@ -325,7 +331,7 @@ func BenchmarkAlloc(b *testing.B) {
 			for _, width := range []float64{0.2, 0.5, 0.8} {
 				g := gen.Random(gen.RandomParams{
 					N: n, Width: width, Regularity: 0.8, Density: 0.5, Layered: true, Seed: 7})
-				costs := moldable.NewCosts(g, cl.SpeedGFlops)
+				costs := moldable.NewCosts(g, cl.PlanSpeedGFlops())
 				opts := alloc.DefaultOptions()
 				want := alloc.Compute(g, costs, cl, opts)
 				for _, engine := range []struct {
@@ -361,7 +367,7 @@ func BenchmarkMap(b *testing.B) {
 		for _, width := range []float64{0.2, 0.5, 0.8} {
 			g := gen.Random(gen.RandomParams{
 				N: 100, Width: width, Regularity: 0.8, Density: 0.5, Layered: true, Seed: 7})
-			costs := moldable.NewCosts(g, cl.SpeedGFlops)
+			costs := moldable.NewCosts(g, cl.PlanSpeedGFlops())
 			a := alloc.Compute(g, costs, cl, alloc.DefaultOptions())
 			opts := core.DefaultNaive(core.StrategyTimeCost)
 			b.Run(fmt.Sprintf("%s/w=%.1f", cl.Name, width), func(b *testing.B) {
@@ -628,7 +634,7 @@ func BenchmarkSim(b *testing.B) {
 					cl := bc.scale.Cluster()
 					scen := simBenchScenario(bc.scale, bc.kind, bc.n)
 					g := scen.Graph()
-					costs := moldable.NewCosts(g, cl.SpeedGFlops)
+					costs := moldable.NewCosts(g, cl.PlanSpeedGFlops())
 					a := alloc.Compute(g, costs, cl, alloc.DefaultOptions())
 					sched := core.Map(g, costs, cl, a, core.DefaultNaive(core.StrategyTimeCost))
 					ref, err := simdag.ExecuteOpts(g, costs, cl, sched, simdag.Options{Solver: core.FlowSolverMaxMin})

@@ -10,13 +10,16 @@
 // -stride subsamples the 557 application configurations (stride 1 = the
 // full evaluation; stride 4 keeps every 4th configuration) to bound the
 // runtime on small machines. -only selects a comma-separated subset of
-// {tableI,tableII,tableIII,fig23,fig4,fig5,tableIV,fig67,tableV6,extended,big};
+// {tableI,tableII,tableIII,fig23,fig4,fig5,tableIV,fig67,tableV6,extended,big,het};
 // "extended" adds a five-way comparison with the CPA and MCPA baselines,
 // which the paper describes (§II-C) but does not evaluate; "big" (never
 // part of the default set — the replay of 400–800-task DAGs on the
 // big512/big1024 presets takes minutes per scenario) runs the
 // production-scale inventories of exp.ScenariosAt on their matched
-// cluster presets.
+// cluster presets; "het" (also opt-in) runs the heterogeneous scenario
+// classes on the 2-tier grelon-het/big512-het presets. -cluster switches
+// the single-cluster experiments (fig23, fig4, fig5, extended) to another
+// preset (see platform.Names for the list).
 //
 // The experiment pipeline is: HCPA allocation (shared) → {HCPA baseline,
 // RATS-delta, RATS-time-cost} mapping → contention-aware replay on the
@@ -50,15 +53,17 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment subset (default: all)")
 	solver := flag.String("solver", "flownet", "replay rate solver: flownet (incremental) or maxmin (reference)")
 	align := flag.String("align", "", "override receiver rank alignment for every algorithm: hungarian, greedy, none or auto (default: per-algorithm)")
+	cluster := flag.String("cluster", "grillon",
+		"cluster preset for the single-cluster experiments: "+strings.Join(platform.Names(), ", "))
 	flag.Parse()
 
-	if err := run(*stride, *workers, *outDir, *only, *solver, *align); err != nil {
+	if err := run(*stride, *workers, *outDir, *only, *solver, *align, *cluster); err != nil {
 		fmt.Fprintln(os.Stderr, "expdriver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(stride, workers int, outDir, only, solver, align string) error {
+func run(stride, workers int, outDir, only, solver, align, cluster string) error {
 	want := map[string]bool{}
 	for _, s := range strings.Split(only, ",") {
 		if s = strings.TrimSpace(s); s != "" {
@@ -89,7 +94,13 @@ func run(stride, workers int, outDir, only, solver, align string) error {
 		}
 		runner.Align = &mode
 	}
-	grillon := clusters[1]
+	// The single-cluster experiments default to grillon as in the paper;
+	// -cluster redirects them to any preset, the heterogeneous ones
+	// included.
+	grillon, err := platform.ByName(cluster)
+	if err != nil {
+		return err
+	}
 
 	emit := func(name string, render func(w io.Writer) error) error {
 		start := time.Now()
@@ -234,6 +245,9 @@ func run(stride, workers int, outDir, only, solver, align string) error {
 		}
 	}
 	if sel("fig67") {
+		if _, ok := tuned.Values[grillon.Name]; !ok {
+			return fmt.Errorf("fig67 needs Table IV tuning for %s, which only covers the paper clusters (chti, grillon, grelon)", grillon.Name)
+		}
 		if err := emit("fig6_fig7", func(w io.Writer) error {
 			res, err := exp.RunFig6And7(runner, scens, grillon, tuned.Values[grillon.Name])
 			if err != nil {
@@ -282,6 +296,30 @@ func run(stride, workers int, outDir, only, solver, align string) error {
 				ms := exp.Makespans(results)
 				fmt.Fprintf(w, "== Production scale (not in the paper): %d scenarios on %s, makespan relative to HCPA ==\n",
 					len(bigScens), cl.Name)
+				return writeExtended(w, algos, ms)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	// Extension beyond the paper: the heterogeneous scenario classes on
+	// the 2-tier presets (half-speed cabinets, throttled uplinks). Opt-in
+	// (-only het) like the big scales, though far cheaper: the grelon-het
+	// inventory is paper-sized.
+	if want["het"] {
+		for _, sc := range []exp.Scale{exp.ScaleGrelonHet, exp.ScaleBig512Het} {
+			sc := sc
+			if err := emit("het_"+sc.String(), func(w io.Writer) error {
+				cl := sc.Cluster()
+				hetScens := exp.Subsample(exp.ScenariosAt(sc), stride)
+				algos := exp.NaiveAlgos()
+				results, err := runner.Run(hetScens, cl, algos)
+				if err != nil {
+					return err
+				}
+				ms := exp.Makespans(results)
+				fmt.Fprintf(w, "== Heterogeneous platforms (not in the paper): %d scenarios on %s, makespan relative to HCPA ==\n",
+					len(hetScens), cl.Name)
 				return writeExtended(w, algos, ms)
 			}); err != nil {
 				return err

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/rats"
 )
@@ -32,7 +33,7 @@ func main() {
 	regularity := flag.Float64("regularity", 0.8, "DAG regularity parameter")
 	jump := flag.Int("jump", 1, "jump edge length (irregular)")
 	seed := flag.Int64("seed", 1, "generator seed")
-	clusterName := flag.String("cluster", "grillon", "cluster: chti, grillon, grelon, big512, big1024")
+	clusterName := flag.String("cluster", "grillon", "cluster: "+strings.Join(rats.ClusterNames(), ", "))
 	gantt := flag.Bool("gantt", false, "print a Gantt chart per algorithm")
 	algoFilter := flag.String("algo", "", "run only one algorithm: hcpa, delta, time-cost")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file per algorithm (prefix)")

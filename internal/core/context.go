@@ -33,6 +33,7 @@ func NewMapContext(cl *platform.Cluster) *MapContext {
 	c := &MapContext{}
 	m := &c.m
 	m.cl = cl
+	m.hetSpeeds = cl.HeteroSpeeds()
 	m.est = NewEstimator(cl)
 	m.avail = make([]float64, cl.P)
 	m.byAvail = make([]int, cl.P)

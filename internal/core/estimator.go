@@ -27,6 +27,12 @@ type Estimator struct {
 	latIntra, latCross float64
 	bwIntra, bwCross   float64
 
+	// hetLinks switches RedistTime to per-pair route queries and per-node
+	// link capacities: with bandwidth/latency overrides present the
+	// two-figure classification above no longer holds. False on uniform
+	// clusters, which keep the precomputed figures.
+	hetLinks bool
+
 	// Scratch reused across RedistTime calls, indexed by processor ID and
 	// allocated lazily on first use. Entries are zeroed again before each
 	// call returns, so the slices never need wholesale clearing.
@@ -58,7 +64,7 @@ type memoEntry struct {
 
 // NewEstimator returns an estimator for the given cluster.
 func NewEstimator(cl *platform.Cluster) *Estimator {
-	e := &Estimator{cl: cl}
+	e := &Estimator{cl: cl, hetLinks: cl.HeteroLinks()}
 	if cl.P > 1 {
 		if !cl.Hierarchical() || cl.CabinetSize > 1 {
 			// Nodes 0 and 1 share a switch (or a cabinet).
@@ -160,9 +166,14 @@ func (e *Estimator) RedistTime(bytes float64, senders, receivers []int) float64 
 		}
 		out[src] += v
 		in[dst] += v
-		bw, lat := e.bwIntra, e.latIntra
-		if hier && src/cabSize != dst/cabSize {
+		var bw, lat float64
+		if e.hetLinks {
+			bw = e.cl.EffectiveBandwidth(src, dst)
+			lat = e.cl.RouteLatency(src, dst)
+		} else if hier && src/cabSize != dst/cabSize {
 			bw, lat = e.bwCross, e.latCross
+		} else {
+			bw, lat = e.bwIntra, e.latIntra
 		}
 		// An individual flow cannot beat its empirical bandwidth.
 		if bw > 0 {
@@ -176,12 +187,18 @@ func (e *Estimator) RedistTime(bytes float64, senders, receivers []int) float64 
 	})
 	beta := e.cl.LinkBandwidth
 	for _, s := range senders {
+		if e.hetLinks {
+			beta = e.cl.LinkCapacity(e.cl.NodeUpLink(s))
+		}
 		if v := out[s] / beta; v > t {
 			t = v
 		}
 		out[s] = 0
 	}
 	for _, r := range receivers {
+		if e.hetLinks {
+			beta = e.cl.LinkCapacity(e.cl.NodeDownLink(r))
+		}
 		if v := in[r] / beta; v > t {
 			t = v
 		}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/moldable"
+	"repro/internal/platform"
+)
+
+// vectorized returns a copy of cl with its uniformity spelled out
+// explicitly: an all-equal per-node speed vector and override maps giving
+// every single link its class figure. The copy selects every
+// heterogeneous code path (set-aware task costs, per-pair route queries,
+// per-node link capacities) while describing the same physical machine.
+func vectorized(cl *platform.Cluster) *platform.Cluster {
+	v := *cl
+	v.NodeSpeeds = make([]float64, cl.P)
+	for i := range v.NodeSpeeds {
+		v.NodeSpeeds[i] = cl.SpeedGFlops
+	}
+	v.LinkBandwidths = make(map[platform.LinkID]float64, cl.NumLinks())
+	v.LinkLatencies = make(map[platform.LinkID]float64, cl.NumLinks())
+	for i := 0; i < cl.P; i++ {
+		v.LinkBandwidths[cl.NodeUpLink(i)] = cl.LinkBandwidth
+		v.LinkBandwidths[cl.NodeDownLink(i)] = cl.LinkBandwidth
+		v.LinkLatencies[cl.NodeUpLink(i)] = cl.LinkLatency
+		v.LinkLatencies[cl.NodeDownLink(i)] = cl.LinkLatency
+	}
+	if cl.Hierarchical() {
+		for cab := 0; cab < cl.Cabinets(); cab++ {
+			v.LinkBandwidths[cl.CabUpLink(cab)] = cl.UplinkBandwidth
+			v.LinkBandwidths[cl.CabDownLink(cab)] = cl.UplinkBandwidth
+			v.LinkLatencies[cl.CabUpLink(cab)] = cl.UplinkLatency
+			v.LinkLatencies[cl.CabDownLink(cab)] = cl.UplinkLatency
+		}
+	}
+	return &v
+}
+
+// TestUniformVectorDigestEquivalence pins that the heterogeneous paths
+// degrade to the homogeneous oracle: a cluster carrying an explicit
+// all-equal speed vector plus all-equal link override maps must produce
+// schedules byte-identical (scheduleDigest) to the scalar-field cluster,
+// across every preset, mapping strategy and allocation method. Any
+// divergence means the hetero code path re-ordered a floating-point
+// expression or consulted a different figure — exactly the silent
+// mis-costing the layered refactor must not introduce.
+func TestUniformVectorDigestEquivalence(t *testing.T) {
+	clusters := []*platform.Cluster{
+		platform.Chti(), platform.Grillon(), platform.Grelon(),
+		platform.Big512(), platform.Big1024(),
+	}
+	strategies := []Strategy{StrategyNone, StrategyDelta, StrategyTimeCost}
+	methods := []alloc.Method{alloc.CPA, alloc.HCPA, alloc.MCPA}
+	for _, cl := range clusters {
+		class := "layered"
+		if cl.Hierarchical() {
+			class = "fft" // cross-cabinet routes exercise the uplink overrides
+		}
+		g := goldenGraph(class)
+		vc := vectorized(cl)
+		if err := vc.Validate(); err != nil {
+			t.Fatalf("%s vectorized: %v", cl.Name, err)
+		}
+		if !vc.Hetero() {
+			t.Fatalf("%s vectorized: hetero paths not selected", cl.Name)
+		}
+		for _, method := range methods {
+			opts := alloc.DefaultOptions()
+			opts.Method = method
+			for _, st := range strategies {
+				name := fmt.Sprintf("%s/%s/%v/%v", cl.Name, class, method, st)
+				t.Run(name, func(t *testing.T) {
+					costs := moldable.NewCosts(g, cl.PlanSpeedGFlops())
+					want := scheduleDigest(Map(g, costs, cl, alloc.Compute(g, costs, cl, opts), DefaultNaive(st)))
+
+					vcosts := moldable.NewCosts(g, vc.PlanSpeedGFlops())
+					got := scheduleDigest(Map(g, vcosts, vc, alloc.Compute(g, vcosts, vc, opts), DefaultNaive(st)))
+					if got != want {
+						t.Errorf("vectorized digest = %s, scalar = %s (hetero path diverged from the uniform oracle)", got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestScheduleGoldenHetero pins the exact schedules of the heterogeneous
+// presets — 2-tier speed mixes with throttled uplinks — the way
+// TestScheduleGolden pins the homogeneous ones. The digests were recorded
+// from the first hetero-aware mapper; any change to them is a change in
+// heterogeneous scheduling decisions and needs the same scrutiny as a
+// homogeneous digest change.
+func TestScheduleGoldenHetero(t *testing.T) {
+	cases := []struct {
+		cl    *platform.Cluster
+		class string
+		st    Strategy
+		want  string
+	}{
+		{platform.GrelonHet(), "layered", StrategyNone, "4472acd7f9d13173"},
+		{platform.GrelonHet(), "fft", StrategyDelta, "237655b963e329a1"},
+		{platform.GrelonHet(), "irregular", StrategyTimeCost, "384a64bca28b06ae"},
+		{platform.Big512Het(), "fft", StrategyDelta, "87d5a91dc813a744"},
+		{platform.Big512Het(), "layered", StrategyTimeCost, "e6b8f1d04e8a43a1"},
+		{platform.Big512Het(), "irregular", StrategyNone, "04a4a81f1c3b960c"},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("%s/%s/%v", c.cl.Name, c.class, c.st), func(t *testing.T) {
+			g := goldenGraph(c.class)
+			costs := moldable.NewCosts(g, c.cl.PlanSpeedGFlops())
+			a := alloc.Compute(g, costs, c.cl, alloc.DefaultOptions())
+			s := Map(g, costs, c.cl, a, DefaultNaive(c.st))
+			if err := s.Validate(g, c.cl); err != nil {
+				t.Fatal(err)
+			}
+			if got := scheduleDigest(s); got != c.want {
+				t.Errorf("schedule digest = %s, want %s (heterogeneous scheduling decisions changed)", got, c.want)
+			}
+		})
+	}
+}
+
+// TestHeteroFinishEstimatesUseSlowestMember checks the slowest-member
+// cost rule end to end in the mapper: on a cluster whose nodes split into
+// a fast and a slow half, every committed finish estimate must equal
+// est + TimeOn at the speed of the set's slowest node — never the
+// planning-speed or fast-node duration for a set touching the slow half.
+func TestHeteroFinishEstimatesUseSlowestMember(t *testing.T) {
+	cl := platform.GrelonHet()
+	g := goldenGraph("layered")
+	costs := moldable.NewCosts(g, cl.PlanSpeedGFlops())
+	a := alloc.Compute(g, costs, cl, alloc.DefaultOptions())
+	s := Map(g, costs, cl, a, DefaultNaive(StrategyTimeCost))
+	if err := s.Validate(g, cl); err != nil {
+		t.Fatal(err)
+	}
+	sawFastSet := false
+	for tsk := range g.Tasks {
+		if g.Tasks[tsk].Virtual || len(s.Procs[tsk]) == 0 {
+			continue
+		}
+		speed := cl.MinSpeedOf(s.Procs[tsk])
+		want := s.EstStart[tsk] + costs.TimeOn(tsk, len(s.Procs[tsk]), speed)
+		if s.EstFinish[tsk] != want {
+			t.Fatalf("task %d on %v: finish %v, want start %v + TimeOn at %g GFlop/s = %v",
+				tsk, s.Procs[tsk], s.EstFinish[tsk], s.EstStart[tsk], speed, want)
+		}
+		if speed == cl.NodeSpeed(0) {
+			sawFastSet = true
+		}
+	}
+	if !sawFastSet {
+		t.Error("no task ran at full speed — the schedule never used the fast tier, weak test")
+	}
+}

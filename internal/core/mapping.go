@@ -131,6 +131,12 @@ type mapper struct {
 	est   *Estimator
 	opts  Options
 
+	// hetSpeeds routes execution-time queries through the set-aware cost
+	// path (slowest member of the candidate processor set) instead of the
+	// count-only oracle. False on uniform clusters, where the count-only
+	// path is bit-identical and cheaper.
+	hetSpeeds bool
+
 	// Escaping per-run state: alloc, procs, start, finish and order are
 	// handed to the returned Schedule (the schedule-ownership handoff), so
 	// they are allocated fresh on every run even under a pooled MapContext.
@@ -299,9 +305,23 @@ func (m *mapper) totalWork() float64 {
 		if m.g.Tasks[t].Virtual {
 			continue
 		}
+		if m.hetSpeeds {
+			w += m.costs.WorkOn(t, m.alloc[t], m.cl.MinSpeedOf(m.procs[t]))
+			continue
+		}
 		w += m.costs.Work(t, m.alloc[t])
 	}
 	return w
+}
+
+// taskTime returns the execution time of t on a concrete processor set:
+// the count-only Amdahl model on uniform clusters, the same model paced
+// by the set's slowest member on heterogeneous ones.
+func (m *mapper) taskTime(t int, procs []int) float64 {
+	if m.hetSpeeds {
+		return m.costs.TimeOn(t, len(procs), m.cl.MinSpeedOf(procs))
+	}
+	return m.costs.Time(t, len(procs))
 }
 
 // readySorter adapts a wave's ready list to sort.Stable without per-call
@@ -574,7 +594,7 @@ func (m *mapper) evalOn(t int, procs []int) placement {
 			est = v
 		}
 	}
-	return placement{procs: procs, est: est, eft: est + m.costs.Time(t, len(procs))}
+	return placement{procs: procs, est: est, eft: est + m.taskTime(t, procs)}
 }
 
 // baselinePlacement is the HCPA mapping: the Np(t) processors that become

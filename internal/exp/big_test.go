@@ -91,7 +91,7 @@ func TestBigScenarioPipelineSmoke(t *testing.T) {
 	// The big DAGs must actually exercise the preset: the shared HCPA
 	// allocation should spread far beyond one 32-node cabinet.
 	g := small[0].Graph()
-	costs := moldable.NewCosts(g, cl.SpeedGFlops)
+	costs := moldable.NewCosts(g, cl.PlanSpeedGFlops())
 	allocation := alloc.Compute(g, costs, cl, alloc.DefaultOptions())
 	maxAlloc := 0
 	for _, v := range allocation {

@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestHeteroScenarioInventory pins the heterogeneous-scale inventories the
+// way TestBigScenarioInventory pins the big ones: 36 configurations per
+// scale, unique names, valid graphs, and the cluster pairing the expdriver
+// relies on.
+func TestHeteroScenarioInventory(t *testing.T) {
+	for _, tc := range []struct {
+		sc    Scale
+		name  string
+		procs int
+	}{
+		{ScaleGrelonHet, "grelon-het", 120},
+		{ScaleBig512Het, "big512-het", 512},
+	} {
+		if tc.sc.String() != tc.name {
+			t.Fatalf("Scale.String() = %s, want %s", tc.sc.String(), tc.name)
+		}
+		cl := tc.sc.Cluster()
+		if cl.Name != tc.name || cl.P != tc.procs {
+			t.Fatalf("%v pairs with (%s, %d), want (%s, %d)", tc.sc, cl.Name, cl.P, tc.name, tc.procs)
+		}
+		if !cl.Hetero() {
+			t.Fatalf("%v: paired cluster is uniform", tc.sc)
+		}
+		scens := ScenariosAt(tc.sc)
+		if len(scens) != 36 {
+			t.Fatalf("%v: %d scenarios, want 36", tc.sc, len(scens))
+		}
+		names := map[string]bool{}
+		for i, s := range scens {
+			if s.ID != i {
+				t.Fatalf("%v: scenario %d has ID %d", tc.sc, i, s.ID)
+			}
+			if names[s.Name()] {
+				t.Fatalf("%v: duplicate scenario name %s", tc.sc, s.Name())
+			}
+			names[s.Name()] = true
+		}
+		for _, idx := range []int{0, 16, 32} {
+			g := scens[idx].Graph()
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%v scenario %s: %v", tc.sc, scens[idx].Name(), err)
+			}
+		}
+	}
+	// grelon-het stays within the Table III graph envelope — heterogeneity,
+	// not graph scale, is the variable there.
+	for _, s := range ScenariosAt(ScaleGrelonHet) {
+		if s.Kind == Layered || s.Kind == Irregular {
+			if s.Params.N > 100 {
+				t.Fatalf("grelon-het random scenario %s exceeds Table III sizes", s.Name())
+			}
+		}
+	}
+}
+
+// TestHeteroScenarioPipelineSmoke runs two small grelon-het scenarios end
+// to end (allocation → mapping → contended replay) on the heterogeneous
+// preset and checks all three naive algorithms survive and produce sane
+// results.
+func TestHeteroScenarioPipelineSmoke(t *testing.T) {
+	cl := ScaleGrelonHet.Cluster()
+	var small []Scenario
+	for _, s := range ScenariosAt(ScaleGrelonHet) {
+		if s.Kind == Layered && s.Params.N == 50 && s.Params.Density == 0.2 {
+			small = append(small, s)
+		}
+	}
+	if len(small) < 2 {
+		t.Fatal("expected at least two small layered grelon-het scenarios")
+	}
+	small = small[:2]
+	r := NewRunner()
+	results, err := r.Run(small, cl, NaiveAlgos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := range results {
+		for s, res := range results[a] {
+			if res.Makespan <= 0 || res.Work <= 0 {
+				t.Fatalf("algo %d scenario %s: degenerate result %+v", a, small[s].Name(), res)
+			}
+		}
+	}
+}

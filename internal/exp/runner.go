@@ -128,7 +128,7 @@ func (r *Runner) Run(scens []Scenario, cl *platform.Cluster, algos []AlgoSpec) (
 	errs := make([]error, len(scens))
 	par.ForEach(len(scens), r.Workers, func(i int) {
 		g := scens[i].Graph()
-		costs := moldable.NewCosts(g, cl.SpeedGFlops)
+		costs := moldable.NewCosts(g, cl.PlanSpeedGFlops())
 		allocation := alloc.Compute(g, costs, cl, r.AllocOptions)
 		cache := map[string]float64{} // schedule signature -> makespan
 		for a, spec := range algos {

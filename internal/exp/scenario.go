@@ -154,6 +154,14 @@ const (
 	// ScaleBig1024 pairs with platform.Big1024: 400–800-task DAGs and
 	// 64-point FFTs.
 	ScaleBig1024
+	// ScaleGrelonHet pairs with platform.GrelonHet — the 2-tier
+	// heterogeneous grelon (half-speed cabinets behind slow uplinks) —
+	// using paper-sized DAGs so heterogeneity, not graph scale, is the
+	// variable under test.
+	ScaleGrelonHet
+	// ScaleBig512Het pairs with platform.Big512Het: the big512 inventory
+	// on the 2-tier 512-node cluster.
+	ScaleBig512Het
 )
 
 // String implements fmt.Stringer.
@@ -165,6 +173,10 @@ func (s Scale) String() string {
 		return "big512"
 	case ScaleBig1024:
 		return "big1024"
+	case ScaleGrelonHet:
+		return "grelon-het"
+	case ScaleBig512Het:
+		return "big512-het"
 	}
 	return fmt.Sprintf("Scale(%d)", int(s))
 }
@@ -176,6 +188,10 @@ func (s Scale) Cluster() *platform.Cluster {
 		return platform.Big512()
 	case ScaleBig1024:
 		return platform.Big1024()
+	case ScaleGrelonHet:
+		return platform.GrelonHet()
+	case ScaleBig512Het:
+		return platform.Big512Het()
 	}
 	return platform.Grillon()
 }
@@ -230,6 +246,19 @@ func ScenariosAt(sc Scale) []Scenario {
 		bigRandoms(add, []int{400, 800})
 		for smp := 0; smp < 4; smp++ {
 			add(Scenario{Kind: FFT, K: 64, Sample: smp})
+		}
+	case ScaleGrelonHet:
+		// Paper-sized graphs: 2-tier heterogeneity is the variable, so the
+		// DAGs stay within Table III's envelope (50–100 tasks, 16-point
+		// FFTs spread across the five mixed-speed cabinets).
+		bigRandoms(add, []int{50, 100})
+		for smp := 0; smp < 4; smp++ {
+			add(Scenario{Kind: FFT, K: 16, Sample: smp})
+		}
+	case ScaleBig512Het:
+		bigRandoms(add, []int{200, 400})
+		for smp := 0; smp < 4; smp++ {
+			add(Scenario{Kind: FFT, K: 32, Sample: smp})
 		}
 	}
 	return out

@@ -55,26 +55,63 @@ func (m Model) Work(p int) float64 {
 // model of every task. It is the single cost oracle shared by the
 // allocation procedures, the mapping procedures and the simulator, so all
 // of them agree on T(t, p) exactly.
+//
+// On heterogeneous clusters the construction speed is the planning speed
+// (the slowest node); TimeOn/WorkOn answer the same Amdahl model
+// re-based to the speed of a concrete processor set. TimeOn at the
+// construction speed is bit-identical to Time — both evaluate
+// t.Ops()/(speed·1e9) and the same Model.Time expression — so routing a
+// uniform cluster through either path yields the same floats.
 type Costs struct {
 	models []Model
+	ops    []float64 // raw per-task op counts, for re-basing to another speed
+	speed  float64   // construction speed, GFlop/s
 }
 
 // NewCosts builds the cost oracle for graph g on processors running at
 // speedGFlops·10⁹ floating point operations per second. Virtual tasks get a
 // zero model.
 func NewCosts(g *dag.Graph, speedGFlops float64) *Costs {
-	c := &Costs{models: make([]Model, g.N())}
+	c := &Costs{
+		models: make([]Model, g.N()),
+		ops:    make([]float64, g.N()),
+		speed:  speedGFlops,
+	}
 	for i := range g.Tasks {
 		t := &g.Tasks[i]
 		if t.Virtual {
 			continue
 		}
+		c.ops[i] = t.Ops()
 		c.models[i] = Model{
 			SeqTime: t.Ops() / (speedGFlops * 1e9),
 			Alpha:   t.Alpha,
 		}
 	}
 	return c
+}
+
+// Speed returns the speed in GFlop/s the oracle was constructed at.
+func (c *Costs) Speed() float64 { return c.speed }
+
+// ModelOn returns the task's Amdahl model re-based to another node speed.
+// At the construction speed it reproduces Model(task) bit-exactly.
+func (c *Costs) ModelOn(task int, speedGFlops float64) Model {
+	return Model{
+		SeqTime: c.ops[task] / (speedGFlops * 1e9),
+		Alpha:   c.models[task].Alpha,
+	}
+}
+
+// TimeOn returns T(task, p) with every processor running at speedGFlops —
+// the cost of the task on a set whose slowest member runs at that speed.
+func (c *Costs) TimeOn(task, p int, speedGFlops float64) float64 {
+	return c.ModelOn(task, speedGFlops).Time(p)
+}
+
+// WorkOn returns ω(task, p) = p·TimeOn(task, p, speedGFlops).
+func (c *Costs) WorkOn(task, p int, speedGFlops float64) float64 {
+	return c.ModelOn(task, speedGFlops).Work(p)
 }
 
 // Time returns T(task, p) in seconds.

@@ -13,6 +13,13 @@ package moldable
 //
 // A Table is not safe for concurrent use; each allocation run creates its
 // own (the underlying Costs may be shared).
+//
+// The table memoizes at the oracle's construction speed only — on
+// heterogeneous clusters that is the planning speed the allocation
+// procedures cost against. Set-speed lookups (Costs.TimeOn) are not
+// memoized here: they are keyed by a continuum of speeds rather than a
+// dense (task, p) grid, and the direct Amdahl evaluation is cheaper than
+// a keyed probe, so the hetero path never touches (or grows) this memo.
 type Table struct {
 	c    *Costs
 	memo [][]float64 // memo[t][p-1] = Time(t, p)

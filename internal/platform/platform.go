@@ -13,9 +13,30 @@
 // As in SimGrid, an empirical per-flow bandwidth β' = min(β, Wmax/RTT)
 // accounts for the TCP window, with RTT twice the sum of link latencies
 // along the route.
+//
+// # Heterogeneity
+//
+// A cluster is uniform by default: one SpeedGFlops for every node, one
+// bandwidth/latency figure per link class. Heterogeneous platforms are
+// expressed as sparse deviations from that baseline — an optional
+// per-node speed vector (NodeSpeeds) and per-link override maps
+// (LinkBandwidths, LinkLatencies) keyed by LinkID. Nil vectors/maps mean
+// "uniform", and every query (LinkCapacity, RouteLatency,
+// EffectiveBandwidth) keeps its closed-form fast path in that case; only
+// when overrides are present does it consult the maps. The override
+// representation keeps the homogeneous paper presets byte-identical to
+// their pre-heterogeneity behaviour while letting custom clusters slow
+// down individual nodes, throttle single uplinks, or model asymmetric
+// links.
 package platform
 
-import "fmt"
+import (
+	"fmt"
+	"maps"
+	"math"
+	"slices"
+	"strings"
+)
 
 // Link identifiers are dense integers so the max-min solver can use slice
 // indexing. Every node contributes an up (node→switch) and a down
@@ -44,6 +65,20 @@ type Cluster struct {
 	// setting; the presets use 4 MiB (non-binding on single-switch routes,
 	// mildly binding on long hierarchical routes), and it is configurable.
 	WMax float64
+
+	// NodeSpeeds, when non-nil, gives node i its own compute speed in
+	// GFlop/s and must have exactly P entries, every one positive and
+	// finite. Nil means every node runs at SpeedGFlops.
+	NodeSpeeds []float64
+
+	// LinkBandwidths and LinkLatencies override the bandwidth (bytes/s)
+	// and latency (seconds) of individual directed links, keyed by LinkID
+	// (see NodeUpLink/NodeDownLink/CabUpLink/CabDownLink for the layout).
+	// Links absent from the maps keep the uniform class figure. Nil maps
+	// mean a fully uniform interconnect and keep every route query on its
+	// closed-form fast path.
+	LinkBandwidths map[LinkID]float64
+	LinkLatencies  map[LinkID]float64
 }
 
 // Gigabit Ethernet figures used throughout the paper's experiments.
@@ -121,21 +156,87 @@ func Big1024() *Cluster {
 	}
 }
 
+// GrelonHet returns a heterogeneous variant of grelon: the last two of
+// the five cabinets hold half-speed nodes and sit behind gigabit uplinks
+// instead of the 10 Gb/s backbone — a 2-tier mix in the shape of a
+// cluster extended with an older generation of hardware. It exercises
+// both heterogeneity axes (speed vector + link overrides) at paper scale.
+func GrelonHet() *Cluster {
+	c := Grelon()
+	c.Name = "grelon-het"
+	speeds := make([]float64, c.P)
+	for i := range speeds {
+		speeds[i] = c.SpeedGFlops
+		if c.Cabinet(i) >= 3 {
+			speeds[i] = c.SpeedGFlops / 2
+		}
+	}
+	c.NodeSpeeds = speeds
+	c.LinkBandwidths = make(map[LinkID]float64, 4)
+	for cab := 3; cab < c.Cabinets(); cab++ {
+		c.LinkBandwidths[c.CabUpLink(cab)] = GigabitBandwidth
+		c.LinkBandwidths[c.CabDownLink(cab)] = GigabitBandwidth
+	}
+	return c
+}
+
+// Big512Het returns a heterogeneous variant of big512: the second half of
+// the sixteen cabinets holds half-speed (4 GFlop/s) nodes, and the last
+// four cabinets reach the backbone over 10 Gb/s uplinks instead of
+// 40 Gb/s — production-scale 2-tier heterogeneity.
+func Big512Het() *Cluster {
+	c := Big512()
+	c.Name = "big512-het"
+	speeds := make([]float64, c.P)
+	for i := range speeds {
+		speeds[i] = c.SpeedGFlops
+		if c.Cabinet(i) >= 8 {
+			speeds[i] = c.SpeedGFlops / 2
+		}
+	}
+	c.NodeSpeeds = speeds
+	c.LinkBandwidths = make(map[LinkID]float64, 8)
+	for cab := 12; cab < c.Cabinets(); cab++ {
+		c.LinkBandwidths[c.CabUpLink(cab)] = 10 * GigabitBandwidth
+		c.LinkBandwidths[c.CabDownLink(cab)] = 10 * GigabitBandwidth
+	}
+	return c
+}
+
+// presets maps every preset name to its constructor, in the order Names
+// reports them.
+var presets = []struct {
+	name string
+	make func() *Cluster
+}{
+	{"chti", Chti},
+	{"grillon", Grillon},
+	{"grelon", Grelon},
+	{"grelon-het", GrelonHet},
+	{"big512", Big512},
+	{"big512-het", Big512Het},
+	{"big1024", Big1024},
+}
+
+// Names returns the preset cluster names ByName accepts, in display
+// order. CLI flag help and error messages should use this instead of
+// hard-coding the list.
+func Names() []string {
+	out := make([]string, len(presets))
+	for i, p := range presets {
+		out[i] = p.name
+	}
+	return out
+}
+
 // ByName returns the preset cluster with the given name.
 func ByName(name string) (*Cluster, error) {
-	switch name {
-	case "chti":
-		return Chti(), nil
-	case "grillon":
-		return Grillon(), nil
-	case "grelon":
-		return Grelon(), nil
-	case "big512":
-		return Big512(), nil
-	case "big1024":
-		return Big1024(), nil
+	for _, p := range presets {
+		if p.name == name {
+			return p.make(), nil
+		}
 	}
-	return nil, fmt.Errorf("platform: unknown cluster %q (want chti, grillon, grelon, big512 or big1024)", name)
+	return nil, fmt.Errorf("platform: unknown cluster %q (valid presets: %s)", name, strings.Join(Names(), ", "))
 }
 
 // Hierarchical reports whether the cluster uses the cabinet topology.
@@ -167,18 +268,96 @@ func (c *Cluster) NumLinks() int {
 	return n
 }
 
-// Link ID layout.
-func (c *Cluster) nodeUp(node int) LinkID   { return 2 * node }
-func (c *Cluster) nodeDown(node int) LinkID { return 2*node + 1 }
-func (c *Cluster) cabUp(cab int) LinkID     { return 2*c.P + 2*cab }
-func (c *Cluster) cabDown(cab int) LinkID   { return 2*c.P + 2*cab + 1 }
+// Link ID layout: node up/down pairs first, then cabinet uplink pairs.
+// Exported so override maps can be keyed without duplicating the layout.
+func (c *Cluster) NodeUpLink(node int) LinkID   { return 2 * node }
+func (c *Cluster) NodeDownLink(node int) LinkID { return 2*node + 1 }
+func (c *Cluster) CabUpLink(cab int) LinkID     { return 2*c.P + 2*cab }
+func (c *Cluster) CabDownLink(cab int) LinkID   { return 2*c.P + 2*cab + 1 }
+
+func (c *Cluster) nodeUp(node int) LinkID   { return c.NodeUpLink(node) }
+func (c *Cluster) nodeDown(node int) LinkID { return c.NodeDownLink(node) }
+func (c *Cluster) cabUp(cab int) LinkID     { return c.CabUpLink(cab) }
+func (c *Cluster) cabDown(cab int) LinkID   { return c.CabDownLink(cab) }
+
+// HeteroSpeeds reports whether the cluster carries a per-node speed
+// vector (even an all-equal one — presence, not spread, selects the
+// vector-aware cost paths).
+func (c *Cluster) HeteroSpeeds() bool { return c.NodeSpeeds != nil }
+
+// HeteroLinks reports whether any link overrides are present.
+func (c *Cluster) HeteroLinks() bool {
+	return len(c.LinkBandwidths) > 0 || len(c.LinkLatencies) > 0
+}
+
+// Hetero reports whether the cluster deviates from uniformity on either
+// axis.
+func (c *Cluster) Hetero() bool { return c.HeteroSpeeds() || c.HeteroLinks() }
+
+// NodeSpeed returns the compute speed of one node in GFlop/s.
+func (c *Cluster) NodeSpeed(node int) float64 {
+	if c.NodeSpeeds == nil {
+		return c.SpeedGFlops
+	}
+	return c.NodeSpeeds[node]
+}
+
+// MinSpeedOf returns the speed of the slowest node in procs — the speed a
+// data-parallel task runs at when spread over that set, since its
+// synchronous steps advance at the pace of the slowest member.
+func (c *Cluster) MinSpeedOf(procs []int) float64 {
+	if c.NodeSpeeds == nil || len(procs) == 0 {
+		return c.PlanSpeedGFlops()
+	}
+	s := c.NodeSpeeds[procs[0]]
+	for _, p := range procs[1:] {
+		if sp := c.NodeSpeeds[p]; sp < s {
+			s = sp
+		}
+	}
+	return s
+}
+
+// PlanSpeedGFlops returns the speed the planning phases (allocation,
+// priority computation) cost tasks at: the cluster-wide minimum node
+// speed. Planning at the conservative bound keeps estimates feasible on
+// any processor set the mapper may pick; on a uniform cluster it is
+// exactly SpeedGFlops, so homogeneous schedules are untouched.
+func (c *Cluster) PlanSpeedGFlops() float64 {
+	if c.NodeSpeeds == nil {
+		return c.SpeedGFlops
+	}
+	s := c.NodeSpeeds[0]
+	for _, sp := range c.NodeSpeeds[1:] {
+		if sp < s {
+			s = sp
+		}
+	}
+	return s
+}
 
 // LinkCapacity returns the bandwidth in bytes/second of a directed link.
 func (c *Cluster) LinkCapacity(l LinkID) float64 {
+	if bw, ok := c.LinkBandwidths[l]; ok {
+		return bw
+	}
 	if l < 2*c.P {
 		return c.LinkBandwidth
 	}
 	return c.UplinkBandwidth
+}
+
+// linkLatency returns the latency of a directed link, consulting the
+// override map. Only hetero paths call it; uniform routes stay on the
+// closed forms.
+func (c *Cluster) linkLatency(l LinkID) float64 {
+	if lat, ok := c.LinkLatencies[l]; ok {
+		return lat
+	}
+	if l < 2*c.P {
+		return c.LinkLatency
+	}
+	return c.UplinkLatency
 }
 
 // LinkCapacities returns the capacity vector indexed by LinkID, ready for
@@ -228,6 +407,16 @@ func (c *Cluster) RouteLatency(src, dst int) float64 {
 	if src == dst {
 		return 0
 	}
+	if len(c.LinkLatencies) > 0 {
+		// Summed pairwise — (up+down) + (cabUp+cabDown) — so an all-equal
+		// override map reproduces the closed forms below bit-exactly
+		// (x+x ≡ 2*x in IEEE arithmetic).
+		lat := c.linkLatency(c.NodeUpLink(src)) + c.linkLatency(c.NodeDownLink(dst))
+		if c.Hierarchical() && c.Cabinet(src) != c.Cabinet(dst) {
+			lat += c.linkLatency(c.CabUpLink(c.Cabinet(src))) + c.linkLatency(c.CabDownLink(c.Cabinet(dst)))
+		}
+		return lat
+	}
 	if !c.Hierarchical() || c.Cabinet(src) == c.Cabinet(dst) {
 		return 2 * c.LinkLatency
 	}
@@ -248,9 +437,28 @@ func (c *Cluster) EffectiveBandwidth(src, dst int) float64 {
 	if src == dst {
 		return 0 // self-flow: instantaneous, no bandwidth meaning
 	}
-	beta := c.LinkBandwidth
-	if c.Hierarchical() && c.Cabinet(src) != c.Cabinet(dst) && c.UplinkBandwidth < beta {
-		beta = c.UplinkBandwidth
+	var beta float64
+	if len(c.LinkBandwidths) > 0 {
+		// Narrowest link on the route. For an all-equal override map the
+		// running min visits the same values the closed form compares, so
+		// the result is bit-identical to the uniform path.
+		beta = c.LinkCapacity(c.NodeUpLink(src))
+		if bw := c.LinkCapacity(c.NodeDownLink(dst)); bw < beta {
+			beta = bw
+		}
+		if c.Hierarchical() && c.Cabinet(src) != c.Cabinet(dst) {
+			if bw := c.LinkCapacity(c.CabUpLink(c.Cabinet(src))); bw < beta {
+				beta = bw
+			}
+			if bw := c.LinkCapacity(c.CabDownLink(c.Cabinet(dst))); bw < beta {
+				beta = bw
+			}
+		}
+	} else {
+		beta = c.LinkBandwidth
+		if c.Hierarchical() && c.Cabinet(src) != c.Cabinet(dst) && c.UplinkBandwidth < beta {
+			beta = c.UplinkBandwidth
+		}
 	}
 	if rtt := c.RTT(src, dst); rtt > 0 {
 		if cap := c.WMax / rtt; cap < beta {
@@ -274,5 +482,53 @@ func (c *Cluster) Validate() error {
 	case c.WMax <= 0:
 		return fmt.Errorf("platform %s: WMax = %g, must be positive", c.Name, c.WMax)
 	}
+	if c.NodeSpeeds != nil {
+		if len(c.NodeSpeeds) != c.P {
+			return fmt.Errorf("platform %s: speed vector has %d entries, want P = %d", c.Name, len(c.NodeSpeeds), c.P)
+		}
+		for i, s := range c.NodeSpeeds {
+			if !(s > 0) || math.IsInf(s, 0) { // !(s>0) also catches NaN
+				return fmt.Errorf("platform %s: node %d speed = %g GFlop/s, must be positive and finite", c.Name, i, s)
+			}
+		}
+	}
+	for l, bw := range c.LinkBandwidths {
+		if l < 0 || l >= c.NumLinks() {
+			return fmt.Errorf("platform %s: bandwidth override for link %d outside [0, %d)", c.Name, l, c.NumLinks())
+		}
+		if !(bw > 0) || math.IsInf(bw, 0) {
+			return fmt.Errorf("platform %s: bandwidth override for link %d = %g B/s, must be positive and finite", c.Name, l, bw)
+		}
+	}
+	for l, lat := range c.LinkLatencies {
+		if l < 0 || l >= c.NumLinks() {
+			return fmt.Errorf("platform %s: latency override for link %d outside [0, %d)", c.Name, l, c.NumLinks())
+		}
+		if !(lat >= 0) || math.IsInf(lat, 0) {
+			return fmt.Errorf("platform %s: latency override for link %d = %g s, must be non-negative and finite", c.Name, l, lat)
+		}
+	}
 	return nil
+}
+
+// Equal reports whether two cluster descriptions are structurally
+// identical: same scalar parameters, same speed vector, same link
+// overrides. Identical descriptions produce identical estimates and so
+// identical schedules, which is what context pooling keys on. (Cluster
+// stopped being ==-comparable when it gained vector fields.)
+func Equal(a, b *Cluster) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	return a.Name == b.Name && a.P == b.P && a.SpeedGFlops == b.SpeedGFlops &&
+		a.LinkLatency == b.LinkLatency && a.LinkBandwidth == b.LinkBandwidth &&
+		a.CabinetSize == b.CabinetSize &&
+		a.UplinkLatency == b.UplinkLatency && a.UplinkBandwidth == b.UplinkBandwidth &&
+		a.WMax == b.WMax &&
+		slices.Equal(a.NodeSpeeds, b.NodeSpeeds) &&
+		maps.Equal(a.LinkBandwidths, b.LinkBandwidths) &&
+		maps.Equal(a.LinkLatencies, b.LinkLatencies)
 }

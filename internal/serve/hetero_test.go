@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/rats"
+)
+
+// TestServeHeteroClusterSpec drives a request with an inline heterogeneous
+// cluster description (speed vector + per-node and per-uplink bandwidths)
+// and checks the served result is byte-identical to the library on the
+// same custom cluster.
+func TestServeHeteroClusterSpec(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{})
+	spec := rats.ClusterSpec{
+		Name: "lab-het", Procs: 8, SpeedGFlops: 4, CabinetSize: 4,
+		NodeSpeeds:       []float64{4, 4, 4, 4, 2, 2, 2, 2},
+		NodeBandwidths:   []float64{1e9, 1e9, 1e9, 1e9, 5e8, 5e8, 5e8, 5e8},
+		UplinkBandwidths: []float64{1e10, 1e9},
+	}
+	cl, err := rats.NewCluster(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rats.New(rats.WithCluster(cl)).Schedule(rats.FFT(8, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBlob, _ := json.Marshal(want)
+
+	body := scheduleBody(t, rats.FFT(8, 9), map[string]any{
+		"cluster_spec": map[string]any{
+			"name": "lab-het", "procs": 8, "speed_gflops": 4, "cabinet_size": 4,
+			"node_speeds":       spec.NodeSpeeds,
+			"node_bandwidths":   spec.NodeBandwidths,
+			"uplink_bandwidths": spec.UplinkBandwidths,
+		},
+	})
+	resp, sr := postSchedule(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, sr.Error)
+	}
+	if string(sr.Result) != string(wantBlob) {
+		t.Fatalf("hetero served result diverges:\n%s\nvs\n%s", sr.Result, wantBlob)
+	}
+}
+
+// TestServeHeteroPresetByName checks the heterogeneous presets are
+// reachable through the plain "cluster" field.
+func TestServeHeteroPresetByName(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{})
+	body := scheduleBody(t, rats.FFT(8, 3), map[string]any{"cluster": "grelon-het"})
+	resp, sr := postSchedule(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, sr.Error)
+	}
+}
+
+// TestServeRejectsBadVectors pins the 400-not-panic contract for malformed
+// heterogeneity vectors in inline cluster specs.
+func TestServeRejectsBadVectors(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{})
+	base := func(over map[string]any) []byte {
+		spec := map[string]any{"name": "bad", "procs": 4, "speed_gflops": 2}
+		for k, v := range over {
+			spec[k] = v
+		}
+		return scheduleBody(t, rats.FFT(4, 1), map[string]any{"cluster_spec": spec})
+	}
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"speed vector wrong length", base(map[string]any{"node_speeds": []float64{2, 2}})},
+		{"zero speed entry", base(map[string]any{"node_speeds": []float64{2, 0, 2, 2}})},
+		{"negative speed entry", base(map[string]any{"node_speeds": []float64{2, -1, 2, 2}})},
+		{"node bandwidths wrong length", base(map[string]any{"node_bandwidths": []float64{1e9}})},
+		{"zero node bandwidth", base(map[string]any{"node_bandwidths": []float64{1e9, 1e9, 0, 1e9}})},
+		{"uplinks on flat cluster", base(map[string]any{"uplink_bandwidths": []float64{1e9}})},
+		{"uplinks wrong count", base(map[string]any{"cabinet_size": 2, "uplink_bandwidths": []float64{1e9}})},
+		// NaN cannot transit a JSON number, so the decode layer itself must
+		// turn it into a 400 rather than a panic.
+		{"NaN speed entry", []byte(`{"cluster_spec":{"name":"bad","procs":4,"speed_gflops":2,"node_speeds":[2,NaN,2,2]},"dag":{"graph":{}}}`)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, sr := postSchedule(t, ts.URL, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("HTTP %d, want 400 (error %q)", resp.StatusCode, sr.Error)
+			}
+			if sr.Error == "" {
+				t.Fatal("error response carries no message")
+			}
+		})
+	}
+}

@@ -37,6 +37,14 @@ type ClusterSpec struct {
 	UplinkLatency   float64 `json:"uplink_latency,omitempty"`
 	UplinkBandwidth float64 `json:"uplink_bandwidth,omitempty"`
 	WMax            float64 `json:"wmax,omitempty"`
+
+	// Heterogeneity vectors, validated by rats.NewCluster (length,
+	// positivity, finiteness) — a malformed vector is a 400, never a
+	// panic. JSON cannot carry NaN/±Inf literals, but a proxy-free client
+	// can still send 0 or negative entries.
+	NodeSpeeds       []float64 `json:"node_speeds,omitempty"`       // per-node GFlop/s, len == procs
+	NodeBandwidths   []float64 `json:"node_bandwidths,omitempty"`   // per-node private-link B/s, len == procs
+	UplinkBandwidths []float64 `json:"uplink_bandwidths,omitempty"` // per-cabinet uplink B/s, len == cabinets
 }
 
 // ScheduleRequest is the POST /v1/schedule body. Every field but dag is
@@ -93,15 +101,18 @@ func parseSpec(req *ScheduleRequest) (*requestSpec, error) {
 	switch {
 	case req.ClusterSpec != nil:
 		c, err := rats.NewCluster(rats.ClusterSpec{
-			Name:            req.ClusterSpec.Name,
-			Procs:           req.ClusterSpec.Procs,
-			SpeedGFlops:     req.ClusterSpec.SpeedGFlops,
-			LinkLatency:     req.ClusterSpec.LinkLatency,
-			LinkBandwidth:   req.ClusterSpec.LinkBandwidth,
-			CabinetSize:     req.ClusterSpec.CabinetSize,
-			UplinkLatency:   req.ClusterSpec.UplinkLatency,
-			UplinkBandwidth: req.ClusterSpec.UplinkBandwidth,
-			WMax:            req.ClusterSpec.WMax,
+			Name:             req.ClusterSpec.Name,
+			Procs:            req.ClusterSpec.Procs,
+			SpeedGFlops:      req.ClusterSpec.SpeedGFlops,
+			LinkLatency:      req.ClusterSpec.LinkLatency,
+			LinkBandwidth:    req.ClusterSpec.LinkBandwidth,
+			CabinetSize:      req.ClusterSpec.CabinetSize,
+			UplinkLatency:    req.ClusterSpec.UplinkLatency,
+			UplinkBandwidth:  req.ClusterSpec.UplinkBandwidth,
+			WMax:             req.ClusterSpec.WMax,
+			NodeSpeeds:       req.ClusterSpec.NodeSpeeds,
+			NodeBandwidths:   req.ClusterSpec.NodeBandwidths,
+			UplinkBandwidths: req.ClusterSpec.UplinkBandwidths,
 		})
 		if err != nil {
 			return nil, err

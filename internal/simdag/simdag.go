@@ -266,7 +266,14 @@ func (rp *replay) tryStart(t int) {
 	rp.res.Start[t] = rp.eng.Now()
 	dur := 0.0
 	if !rp.g.Tasks[t].Virtual {
-		dur = rp.costs.Time(t, len(rp.s.Procs[t]))
+		if rp.cl.HeteroSpeeds() {
+			// Data-parallel steps advance at the pace of the slowest
+			// member of the assigned set — same rule the mapper's finish
+			// estimates use, so estimate and replay agree on durations.
+			dur = rp.costs.TimeOn(t, len(rp.s.Procs[t]), rp.cl.MinSpeedOf(rp.s.Procs[t]))
+		} else {
+			dur = rp.costs.Time(t, len(rp.s.Procs[t]))
+		}
 	}
 	rp.eng.After(dur, func() { rp.onFinish(t) })
 }

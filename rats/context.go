@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/platform"
 )
 
 // Context is a reusable scheduler context: it owns the mapping engine's
@@ -38,7 +39,7 @@ func (c *Context) Cluster() *Cluster { return c.cl }
 // cluster pc: the platform parameters must be structurally identical
 // (identical parameters ⇒ identical estimates ⇒ identical schedules).
 func (c *Context) compatible(other *Cluster) bool {
-	return c.cl.pc == other.pc || *c.cl.pc == *other.pc
+	return c.cl.pc == other.pc || platform.Equal(c.cl.pc, other.pc)
 }
 
 // ScheduleIn is Schedule running the mapping phase in the reusable

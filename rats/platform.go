@@ -36,8 +36,18 @@ func Big512() *Cluster { return &Cluster{pc: platform.Big512()} }
 // cabinets with the same links as Big512.
 func Big1024() *Cluster { return &Cluster{pc: platform.Big1024()} }
 
-// ClusterByName returns the preset cluster with the given name ("chti",
-// "grillon", "grelon", "big512" or "big1024").
+// GrelonHet returns the heterogeneous grelon variant: the last two of the
+// five cabinets hold half-speed nodes behind gigabit uplinks — a 2-tier
+// speed/bandwidth mix at paper scale.
+func GrelonHet() *Cluster { return &Cluster{pc: platform.GrelonHet()} }
+
+// Big512Het returns the heterogeneous big512 variant: the second half of
+// the cabinets holds half-speed nodes and the last four reach the
+// backbone over 10 Gb/s uplinks instead of 40 Gb/s.
+func Big512Het() *Cluster { return &Cluster{pc: platform.Big512Het()} }
+
+// ClusterByName returns the preset cluster with the given name (one of
+// ClusterNames).
 func ClusterByName(name string) (*Cluster, error) {
 	pc, err := platform.ByName(name)
 	if err != nil {
@@ -45,6 +55,10 @@ func ClusterByName(name string) (*Cluster, error) {
 	}
 	return &Cluster{pc: pc}, nil
 }
+
+// ClusterNames returns the preset names ClusterByName accepts, in display
+// order — for CLI flag help and error messages.
+func ClusterNames() []string { return platform.Names() }
 
 // ClusterSpec describes a custom cluster. Zero-valued link fields default
 // to the paper's gigabit-Ethernet figures; a zero WMax defaults to the 4
@@ -64,6 +78,23 @@ type ClusterSpec struct {
 	UplinkBandwidth float64
 
 	WMax float64 // TCP window bound for the empirical per-flow bandwidth
+
+	// NodeSpeeds, when non-empty, gives every node its own compute speed
+	// in GFlop/s and must have exactly Procs entries, each positive and
+	// finite. SpeedGFlops may then be left zero (it defaults to the
+	// slowest entry); when set it still provides the uniform baseline the
+	// vector deviates from.
+	NodeSpeeds []float64
+
+	// NodeBandwidths, when non-empty, gives node i's private link its own
+	// bandwidth in bytes/second (applied to both the up and the down
+	// direction); exactly Procs entries, each positive and finite.
+	NodeBandwidths []float64
+
+	// UplinkBandwidths, when non-empty, gives cabinet k's uplink its own
+	// bandwidth in bytes/second (both directions); exactly one entry per
+	// cabinet, each positive and finite. Requires CabinetSize > 0.
+	UplinkBandwidths []float64
 }
 
 // NewCluster builds and validates a custom cluster.
@@ -99,6 +130,40 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 	if pc.WMax == 0 {
 		pc.WMax = platform.DefaultWMax
 	}
+	if len(spec.NodeSpeeds) > 0 {
+		pc.NodeSpeeds = append([]float64(nil), spec.NodeSpeeds...)
+		if pc.SpeedGFlops == 0 && len(pc.NodeSpeeds) > 0 {
+			// The uniform baseline is unused once a full vector is present;
+			// seed it from the vector so validation of the scalar field
+			// doesn't reject a spec that only provides per-node speeds.
+			pc.SpeedGFlops = pc.NodeSpeeds[0]
+		}
+	}
+	if len(spec.NodeBandwidths) > 0 {
+		if len(spec.NodeBandwidths) != pc.P {
+			return nil, fmt.Errorf("rats: NodeBandwidths has %d entries, want Procs = %d", len(spec.NodeBandwidths), pc.P)
+		}
+		pc.LinkBandwidths = make(map[platform.LinkID]float64, 2*pc.P)
+		for i, bw := range spec.NodeBandwidths {
+			pc.LinkBandwidths[pc.NodeUpLink(i)] = bw
+			pc.LinkBandwidths[pc.NodeDownLink(i)] = bw
+		}
+	}
+	if len(spec.UplinkBandwidths) > 0 {
+		if !pc.Hierarchical() {
+			return nil, fmt.Errorf("rats: UplinkBandwidths given but CabinetSize is 0 (flat clusters have no uplinks)")
+		}
+		if len(spec.UplinkBandwidths) != pc.Cabinets() {
+			return nil, fmt.Errorf("rats: UplinkBandwidths has %d entries, want one per cabinet = %d", len(spec.UplinkBandwidths), pc.Cabinets())
+		}
+		if pc.LinkBandwidths == nil {
+			pc.LinkBandwidths = make(map[platform.LinkID]float64, 2*pc.Cabinets())
+		}
+		for cab, bw := range spec.UplinkBandwidths {
+			pc.LinkBandwidths[pc.CabUpLink(cab)] = bw
+			pc.LinkBandwidths[pc.CabDownLink(cab)] = bw
+		}
+	}
 	if err := pc.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,3 +191,11 @@ func (c *Cluster) LinkBandwidth() float64 { return c.pc.LinkBandwidth }
 
 // LinkLatency returns the private per-node link latency in seconds.
 func (c *Cluster) LinkLatency() float64 { return c.pc.LinkLatency }
+
+// Hetero reports whether the cluster deviates from uniformity — a
+// per-node speed vector and/or per-link bandwidth overrides.
+func (c *Cluster) Hetero() bool { return c.pc.Hetero() }
+
+// NodeSpeed returns the compute speed of one node in GFlop/s
+// (SpeedGFlops on uniform clusters).
+func (c *Cluster) NodeSpeed(node int) float64 { return c.pc.NodeSpeed(node) }

@@ -231,7 +231,11 @@ func (s *Scheduler) Schedule(d *DAG) (*Result, error) {
 func (s *Scheduler) run(d *DAG, sc *Context) (*Result, error) {
 	g, cl := d.g, s.cluster.pc
 	t0 := time.Now()
-	costs := moldable.NewCosts(g, cl.SpeedGFlops)
+	// Cost against the planning speed: the slowest node's speed on
+	// heterogeneous clusters, exactly SpeedGFlops on uniform ones. The
+	// mapping/replay phases re-base individual tasks to the slowest member
+	// of their concrete processor set.
+	costs := moldable.NewCosts(g, cl.PlanSpeedGFlops())
 
 	allocation, err := s.allocationFor(d)
 	if err != nil {
