@@ -18,7 +18,11 @@
 // the reference. The map family (BENCH_map.json) runs the full mapping
 // phase (BenchmarkMap, cluster × width) and derives the per-cluster
 // geometric means of ns/op and allocs/op — the trajectory of the sparse
-// allocation-free alignment path.
+// allocation-free alignment path; it also runs the evaluation-lane sweep
+// (BenchmarkMapParallel, cluster × workers) and derives each parallel
+// point's speedup over its own workers=1 anchor. The parallel points stay
+// out of the per-cluster geomeans so the trajectory remains comparable
+// across entries.
 //
 // -smoke runs the suite at -benchtime 1x and prints the entry to stdout
 // without touching the file: CI uses it to prove the wiring (benchmarks
@@ -69,6 +73,7 @@ type Entry struct {
 	SimAllocRatio map[string]float64 `json:"sim_allocs_ratio_geomean,omitempty"`
 	MapNs         map[string]float64 `json:"map_ns_geomean,omitempty"`
 	MapAllocs     map[string]float64 `json:"map_allocs_mean,omitempty"`
+	MapParSpeed   map[string]float64 `json:"map_parallel_speedup,omitempty"`
 	ServeP50Ms    map[string]float64 `json:"serve_p50_ms,omitempty"`
 	ServeP99Ms    map[string]float64 `json:"serve_p99_ms,omitempty"`
 	ServeRate     map[string]float64 `json:"serve_sched_per_sec,omitempty"`
@@ -98,7 +103,7 @@ func main() {
 		case "alloc":
 			*pattern = "^(BenchmarkAlloc|BenchmarkMap|BenchmarkRedistTime)$"
 		case "map":
-			*pattern = "^BenchmarkMap$"
+			*pattern = "^(BenchmarkMap|BenchmarkMapParallel)$"
 		case "serve":
 			*pattern = "^BenchmarkServe$"
 		case "sim":
@@ -185,6 +190,7 @@ func run(family, file, benchtime, label, pattern string, smoke bool) error {
 	case "map":
 		entry.MapNs = mapGeomeans(ms, func(m Measurement) float64 { return m.NsPerOp })
 		entry.MapAllocs = mapMeans(ms, func(m Measurement) float64 { return m.AllocsOp })
+		entry.MapParSpeed = mapParSpeedups(ms)
 	case "serve":
 		entry.ServeP50Ms = serveMetric(ms, func(m Measurement) float64 { return m.P50Ns / 1e6 })
 		entry.ServeP99Ms = serveMetric(ms, func(m Measurement) float64 { return m.P99Ns / 1e6 })
@@ -423,6 +429,37 @@ func serveMetric(ms []Measurement, metric func(Measurement) float64) map[string]
 		}
 		if v := metric(m); v > 0 {
 			out[parts[1]] = math.Round(v*100) / 100
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// mapParSpeedups derives, per BenchmarkMapParallel/<cluster>/workers=<n>
+// point with n > 1, the ratio of the same cluster's workers=1 time to the
+// point's time — the parallel mapper's speedup over the serial engine it
+// is byte-identical to. Keys are "<cluster>/workers=<n>". On a
+// single-core runner the ratios sit at or below 1 (pure coordination
+// overhead); they are recorded as measured.
+func mapParSpeedups(ms []Measurement) map[string]float64 {
+	base := map[string]float64{}
+	for _, m := range ms {
+		parts := strings.Split(m.Name, "/")
+		if len(parts) == 3 && parts[0] == "BenchmarkMapParallel" &&
+			parts[2] == "workers=1" && m.NsPerOp > 0 {
+			base[parts[1]] = m.NsPerOp
+		}
+	}
+	out := map[string]float64{}
+	for _, m := range ms {
+		parts := strings.Split(m.Name, "/")
+		if len(parts) != 3 || parts[0] != "BenchmarkMapParallel" || parts[2] == "workers=1" {
+			continue
+		}
+		if b := base[parts[1]]; b > 0 && m.NsPerOp > 0 {
+			out[parts[1]+"/"+parts[2]] = math.Round(b/m.NsPerOp*100) / 100
 		}
 	}
 	if len(out) == 0 {

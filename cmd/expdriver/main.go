@@ -49,6 +49,7 @@ import (
 func main() {
 	stride := flag.Int("stride", 1, "keep every stride-th scenario (1 = full 557-configuration evaluation)")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	mapWorkers := flag.Int("map-workers", 0, "mapper candidate-evaluation lanes per scenario (0 = serial; results identical)")
 	outDir := flag.String("out", "results", "output directory for per-experiment files")
 	only := flag.String("only", "", "comma-separated experiment subset (default: all)")
 	solver := flag.String("solver", "flownet", "replay rate solver: flownet (incremental) or maxmin (reference)")
@@ -57,13 +58,13 @@ func main() {
 		"cluster preset for the single-cluster experiments: "+strings.Join(platform.Names(), ", "))
 	flag.Parse()
 
-	if err := run(*stride, *workers, *outDir, *only, *solver, *align, *cluster); err != nil {
+	if err := run(*stride, *workers, *mapWorkers, *outDir, *only, *solver, *align, *cluster); err != nil {
 		fmt.Fprintln(os.Stderr, "expdriver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(stride, workers int, outDir, only, solver, align, cluster string) error {
+func run(stride, workers, mapWorkers int, outDir, only, solver, align, cluster string) error {
 	want := map[string]bool{}
 	for _, s := range strings.Split(only, ",") {
 		if s = strings.TrimSpace(s); s != "" {
@@ -79,6 +80,7 @@ func run(stride, workers int, outDir, only, solver, align, cluster string) error
 	clusters := platform.PaperClusters()
 	runner := exp.NewRunner()
 	runner.Workers = workers
+	runner.MapWorkers = mapWorkers
 	switch solver {
 	case "", "flownet":
 		runner.Solver = core.FlowSolverNet

@@ -42,6 +42,7 @@ func main() {
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "flush a non-full batch after this long")
 	maxQueue := flag.Int("max-queue", 1024, "shed load beyond this many queued requests")
 	workers := flag.Int("workers", 0, "batch executor goroutines (0 = GOMAXPROCS)")
+	mapWorkers := flag.Int("map-workers", 0, "default mapper evaluation lanes for requests without map_workers (0 = serial)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
@@ -61,6 +62,7 @@ func main() {
 			Workers:  *workers,
 		},
 		DefaultTimeout: *timeout,
+		MapWorkers:     *mapWorkers,
 		Log:            log,
 	})
 

@@ -40,10 +40,11 @@ func main() {
 	solverName := flag.String("solver", "flownet", "replay rate solver: flownet (incremental) or maxmin (reference)")
 	alignName := flag.String("align", "hungarian", "receiver rank alignment: hungarian, greedy, none or auto")
 	asJSON := flag.Bool("json", false, "emit one JSON result per algorithm instead of text")
+	mapWorkers := flag.Int("map-workers", 1, "mapper candidate-evaluation lanes (results identical at any value)")
 	flag.Parse()
 
 	if err := run(*app, *n, *k, *width, *density, *regularity, *jump, *seed,
-		*clusterName, *solverName, *alignName, *gantt, *algoFilter, *traceOut, *asJSON); err != nil {
+		*clusterName, *solverName, *alignName, *gantt, *algoFilter, *traceOut, *asJSON, *mapWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "ratsim:", err)
 		os.Exit(1)
 	}
@@ -66,7 +67,11 @@ func buildDAG(app string, n, k int, width, density, regularity float64, jump int
 }
 
 func run(app string, n, k int, width, density, regularity float64, jump int, seed int64,
-	clusterName, solverName, alignName string, gantt bool, algoFilter, traceOut string, asJSON bool) error {
+	clusterName, solverName, alignName string, gantt bool, algoFilter, traceOut string, asJSON bool,
+	mapWorkers int) error {
+	if mapWorkers < 1 {
+		return fmt.Errorf("-map-workers %d: want ≥ 1", mapWorkers)
+	}
 	cl, err := rats.ClusterByName(clusterName)
 	if err != nil {
 		return err
@@ -116,8 +121,12 @@ func run(app string, n, k int, width, density, regularity float64, jump int, see
 		if algoFilter != "" && v.strategy != only {
 			continue
 		}
-		s := rats.New(rats.WithCluster(cl), rats.WithStrategy(v.strategy),
-			rats.WithFlowSolver(solver), rats.WithAlignment(align))
+		opts := []rats.Option{rats.WithCluster(cl), rats.WithStrategy(v.strategy),
+			rats.WithFlowSolver(solver), rats.WithAlignment(align)}
+		if mapWorkers > 1 {
+			opts = append(opts, rats.WithMapWorkers(mapWorkers))
+		}
+		s := rats.New(opts...)
 		res, err := s.Schedule(d)
 		if err != nil {
 			return err

@@ -34,7 +34,10 @@ func NewMapContext(cl *platform.Cluster) *MapContext {
 	m := &c.m
 	m.cl = cl
 	m.hetSpeeds = cl.HeteroSpeeds()
-	m.est = NewEstimator(cl)
+	// Lane 0 serves the serial engine; Options.Workers > 1 grows the
+	// slice on demand (ensureWorkers), so a context pooled for serial
+	// traffic pays for exactly one estimator.
+	m.ws = []evalWorker{{est: NewEstimator(cl)}}
 	m.avail = make([]float64, cl.P)
 	m.byAvail = make([]int, cl.P)
 	m.availKept = make([]int, 0, cl.P)
@@ -54,7 +57,8 @@ func (c *MapContext) Cluster() *platform.Cluster { return c.m.cl }
 func (c *MapContext) Map(g *dag.Graph, costs *moldable.Costs, alloc []int, opts Options) *Schedule {
 	m := &c.m
 	m.g, m.costs, m.opts = g, costs, opts
-	m.est.Reset()
+	// Estimator memos are reset inside run (ensureWorkers), covering
+	// every lane the run provisions.
 	m.alloc = append([]int(nil), alloc...)
 	sched := m.run()
 	// Drop every reference that escaped into the schedule (plus the

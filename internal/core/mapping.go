@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/moldable"
+	"repro/internal/par"
 	"repro/internal/platform"
 	"repro/internal/redist"
 )
@@ -94,6 +95,19 @@ type Options struct {
 	// which is the evidence for the claiming interpretation; the ablation
 	// benches quantify it.
 	NoClaiming bool
+
+	// Workers fans each task's candidate evaluations out over a pool of
+	// that many workers (the calling goroutine included). Values ≤ 1 run
+	// the serial engine, which remains the oracle; any larger count
+	// produces byte-identical schedules — candidate evaluation is pure
+	// given the committed state, every worker owns its own scratch, and
+	// the reduction replays the serial comparison order (see parallel.go).
+	Workers int
+
+	// disableDedup turns off the baseline-versus-reference candidate
+	// dedup in the serial engine (see baselinePlacementDedup). Test-only:
+	// the counter-asserting dedup tests compare both modes.
+	disableDedup bool
 }
 
 // DefaultNaive returns the naive parameter set of §IV-B for a strategy:
@@ -123,12 +137,53 @@ func Map(g *dag.Graph, costs *moldable.Costs, cl *platform.Cluster, alloc []int,
 	return NewMapContext(cl).Map(g, costs, alloc, opts)
 }
 
+// evalWorker owns the mutable state one evaluation lane needs to score a
+// candidate placement: the estimator (redistribution memo + block-walk
+// scratch), the receiver-rank alignment scratch, and the candidate-buffer
+// pool. The serial engine uses lane 0 only; the parallel engine binds lane
+// w to pool worker w, so concurrent evaluations never share scratch.
+//
+// Every lane's estimator memoizes (edge, receiver rank order)
+// independently; RedistTime is a pure function of those inputs plus the
+// committed sender sets, so the memos return identical values regardless
+// of which lane — or how many — evaluated an edge first.
+type evalWorker struct {
+	est          *Estimator
+	alignScratch redist.AlignScratch
+	bufPool      [][]int
+
+	// nEval counts evalOn calls on this lane within the current run
+	// (diagnostics; the dedup tests assert on the sum across lanes).
+	nEval int
+}
+
+// getBuf returns an empty processor-set buffer from the lane's pool. A pool
+// miss returns nil on purpose: the subsequent append (or AlignReceiversInto)
+// sizes the allocation to the candidate itself, not to the cluster, so
+// committed sets never pin cluster-sized backing arrays.
+func (w *evalWorker) getBuf() []int {
+	if n := len(w.bufPool); n > 0 {
+		b := w.bufPool[n-1][:0]
+		w.bufPool = w.bufPool[:n-1]
+		return b
+	}
+	return nil
+}
+
+// putBuf returns a discarded candidate buffer to the lane's pool. Callers
+// must only pass buffers that lost their placement race — a committed
+// buffer is owned by the schedule.
+func (w *evalWorker) putBuf(b []int) {
+	if cap(b) > 0 {
+		w.bufPool = append(w.bufPool, b)
+	}
+}
+
 // mapper holds the mutable state of one mapping run.
 type mapper struct {
 	g     *dag.Graph
 	costs *moldable.Costs
 	cl    *platform.Cluster
-	est   *Estimator
 	opts  Options
 
 	// hetSpeeds routes execution-time queries through the set-aware cost
@@ -174,20 +229,26 @@ type mapper struct {
 	sortKey  []float64
 	sorter   readySorter
 
-	// alignScratch owns the receiver-rank alignment's working state
-	// (banded benefit CSR, Hungarian potentials, id-indexed rank slices),
-	// so every candidate evaluation aligns without allocating. Mapping
-	// runs are single-threaded; batch scheduling creates one mapper — and
-	// hence one scratch — per run.
-	alignScratch redist.AlignScratch
+	// ws holds the per-lane evaluation scratch (estimator memo, alignment
+	// scratch, candidate-buffer pool). Lane 0 always exists and serves the
+	// serial engine; ensureWorkers grows the slice when Options.Workers
+	// asks for more lanes and resets every estimator at the start of a run.
+	ws []evalWorker
 
-	// bufPool recycles candidate processor-set buffers. Every candidate
-	// placement copies a processor set (alignToHeaviestPred, the RATS
-	// adoption copies), but only the winning candidate's set survives into
-	// procs[t] — the losers used to be garbage. Discarded buffers return
-	// to the pool via putBuf; committed ones transfer ownership to the
-	// schedule and are never recycled.
-	bufPool [][]int
+	// nDedup counts candidate evaluations skipped by the serial engine's
+	// baseline-versus-reference dedup in the current run (see
+	// baselinePlacementDedup).
+	nDedup int
+
+	// Parallel-engine state (nil/unused when Options.Workers ≤ 1): the
+	// per-run worker pool, the per-task candidate list, and the prebuilt
+	// dispatch closure with the task it currently evaluates. parFn is
+	// built once per mapper so pool.Run does not allocate a closure per
+	// task.
+	pool     *par.Pool
+	parCands []parCand
+	parT     int
+	parFn    func(worker, i int)
 
 	// claimed[p] is set once a task has inherited predecessor p's
 	// processor set. Each parent allocation can be adopted by at most one
@@ -200,7 +261,43 @@ type mapper struct {
 	claimed []bool
 }
 
+// ensureWorkers grows the lane slice to n entries and readies lanes
+// [0, n) for a fresh run: estimator memos are dropped (they are keyed per
+// run — sender sets change from graph to graph) and the evaluation
+// counters cleared. Lanes beyond n keep stale memos; they are reset here
+// before any later run uses them.
+func (m *mapper) ensureWorkers(n int) {
+	for len(m.ws) < n {
+		m.ws = append(m.ws, evalWorker{est: NewEstimator(m.cl)})
+	}
+	for i := 0; i < n; i++ {
+		m.ws[i].est.Reset()
+		m.ws[i].nEval = 0
+	}
+	m.nDedup = 0
+}
+
 func (m *mapper) run() *Schedule {
+	workers := m.opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	m.ensureWorkers(workers)
+	if workers > 1 {
+		// The pool is per-run: a persistent pool on a pooled MapContext
+		// would leak its goroutines (contexts have no Close). Spawning
+		// workers−1 goroutines costs far less than one mapping run.
+		m.pool = par.NewPool(workers)
+		defer func() {
+			m.pool.Close()
+			m.pool = nil
+		}()
+		if m.parFn == nil {
+			m.parFn = func(worker, i int) {
+				m.evalCand(worker, m.parT, &m.parCands[i])
+			}
+		}
+	}
 	n := m.g.N()
 	// Escaping arrays: owned by the returned Schedule, fresh every run.
 	m.procs = make([][]int, n)
@@ -233,7 +330,7 @@ func (m *mapper) run() *Schedule {
 			}
 			return m.costs.Time(t, m.alloc[t])
 		},
-		func(e int) float64 { return m.est.EdgeTimeSimple(m.g.Edges[e].Bytes) },
+		func(e int) float64 { return m.ws[0].est.EdgeTimeSimple(m.g.Edges[e].Bytes) },
 	)
 
 	remaining := n
@@ -489,9 +586,13 @@ func (m *mapper) place(t int) int {
 		m.start[t], m.finish[t] = est, est
 		return -1
 	}
-	best, pred, ok := m.strategyPlacement(t)
+	if m.pool != nil {
+		return m.placeParallel(t)
+	}
+	w := &m.ws[0]
+	best, pred, ok := m.strategyPlacement(w, t)
 	if !ok {
-		best = m.baselinePlacement(t)
+		best = m.baselinePlacement(w, t)
 		pred = -1
 	}
 	if pred >= 0 {
@@ -552,30 +653,13 @@ func (m *mapper) reorderAvail(procs []int, eft float64) {
 	}
 }
 
-// getBuf returns an empty processor-set buffer from the pool. A pool miss
-// returns nil on purpose: the subsequent append (or AlignReceiversInto)
-// sizes the allocation to the candidate itself, not to the cluster, so
-// committed sets never pin cluster-sized backing arrays.
-func (m *mapper) getBuf() []int {
-	if n := len(m.bufPool); n > 0 {
-		b := m.bufPool[n-1][:0]
-		m.bufPool = m.bufPool[:n-1]
-		return b
-	}
-	return nil
-}
-
-// putBuf returns a discarded candidate buffer to the pool. Callers must
-// only pass buffers that lost their placement race — a committed buffer
-// is owned by the schedule.
-func (m *mapper) putBuf(b []int) {
-	if cap(b) > 0 {
-		m.bufPool = append(m.bufPool, b)
-	}
-}
-
-// evalOn builds the placement of t on an explicit processor set.
-func (m *mapper) evalOn(t int, procs []int) placement {
+// evalOn builds the placement of t on an explicit processor set, using
+// lane w's estimator. During one task's evaluation the committed state it
+// reads — avail, finish, procs — is immutable (commit happens after the
+// winner is chosen), which is what makes concurrent evaluations on
+// distinct lanes race-free and value-identical to serial ones.
+func (m *mapper) evalOn(w *evalWorker, t int, procs []int) placement {
+	w.nEval++
 	est := 0.0
 	for _, p := range procs {
 		if m.avail[p] > est {
@@ -586,9 +670,10 @@ func (m *mapper) evalOn(t int, procs []int) placement {
 		pred := m.g.Edges[e].From
 		rt := 0.0
 		if !m.g.Tasks[pred].Virtual {
-			// Memoized: the sender set is fixed once pred is mapped, and
-			// candidate evaluations revisit the same receiver sets.
-			rt = m.est.EdgeRedistTime(e, m.g.Edges[e].Bytes, m.procs[pred], procs)
+			// Memoized per lane: the sender set is fixed once pred is
+			// mapped, and candidate evaluations revisit the same receiver
+			// sets.
+			rt = w.est.EdgeRedistTime(e, m.g.Edges[e].Bytes, m.procs[pred], procs)
 		}
 		if v := m.finish[pred] + rt; v > est {
 			est = v
@@ -602,31 +687,64 @@ func (m *mapper) evalOn(t int, procs []int) placement {
 // to the heaviest predecessor to maximize self-communication. With
 // Options.PredOverlap (ablation), predecessor-anchored candidate sets of
 // the same size are also evaluated and the best estimated finish wins.
+func (m *mapper) baselinePlacement(w *evalWorker, t int) placement {
+	return m.baselinePlacementDedup(w, t, nil)
+}
+
+// baselinePlacementDedup is baselinePlacement with a candidate dedup
+// against an already-evaluated reference placement: the delta EFT guard
+// and the time-cost pack comparison both evaluate the baseline right after
+// an adoption/stretch candidate, and on graphs where the predecessor's
+// processors are exactly the earliest-available set the two candidates
+// coincide — same ordered processor list, hence (evalOn being a pure
+// function of the list and the committed state) the same est/eft. Skipping
+// the duplicate walk halves the evaluation cost of those tasks.
 //
 // The availability order is read straight from m.byAvail, which commit
 // keeps sorted; alignToHeaviestPred copies its input, so no candidate ever
 // aliases the maintained ordering.
-func (m *mapper) baselinePlacement(t int) placement {
+func (m *mapper) baselinePlacementDedup(w *evalWorker, t int, ref *placement) placement {
 	k := m.alloc[t]
 	if k > m.cl.P {
 		k = m.cl.P
 	}
 	byAvail := m.byAvail
-	cand := m.alignToHeaviestPred(t, byAvail[:k])
-	best := m.evalOn(t, cand)
+	cand := m.alignToHeaviestPred(w, t, byAvail[:k])
+	var best placement
+	if ref != nil && !m.opts.disableDedup && equalInts(cand, ref.procs) {
+		m.nDedup++
+		best = placement{procs: cand, est: ref.est, eft: ref.eft}
+	} else {
+		best = m.evalOn(w, t, cand)
+	}
 	if m.opts.PredOverlap {
 		for _, pred := range m.realPreds(t) {
 			set := truncateOrExtend(m.procs[pred], byAvail, k)
-			pl := m.evalOn(t, m.alignToHeaviestPred(t, set))
+			pl := m.evalOn(w, t, m.alignToHeaviestPred(w, t, set))
 			if pl.eft < best.eft {
-				m.putBuf(best.procs)
+				w.putBuf(best.procs)
 				best = pl
 			} else {
-				m.putBuf(pl.procs)
+				w.putBuf(pl.procs)
 			}
 		}
 	}
 	return best
+}
+
+// equalInts reports whether a and b hold the same values in the same
+// order. Rank order matters: two placements on the same set in different
+// orders redistribute differently.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // truncateOrExtend returns a set of exactly k distinct processors based on
@@ -662,8 +780,8 @@ func truncateOrExtend(base, byAvail []int, k int) []int {
 // alignToHeaviestPred permutes the rank order of a processor set to
 // maximize self-communication with the predecessor contributing the most
 // bytes (§II-A). The set itself is unchanged; the returned copy lives in
-// a pooled candidate buffer (see bufPool).
-func (m *mapper) alignToHeaviestPred(t int, procs []int) []int {
+// a pooled candidate buffer of lane w (see evalWorker.bufPool).
+func (m *mapper) alignToHeaviestPred(w *evalWorker, t int, procs []int) []int {
 	var heavy int = -1
 	var bytes float64
 	for _, e := range m.g.In(t) {
@@ -677,7 +795,7 @@ func (m *mapper) alignToHeaviestPred(t int, procs []int) []int {
 		}
 	}
 	if heavy < 0 || bytes == 0 {
-		return append(m.getBuf(), procs...)
+		return append(w.getBuf(), procs...)
 	}
-	return redist.AlignReceiversScratch(m.getBuf(), bytes, m.procs[heavy], procs, m.opts.Align, &m.alignScratch)
+	return redist.AlignReceiversScratch(w.getBuf(), bytes, m.procs[heavy], procs, m.opts.Align, &w.alignScratch)
 }

@@ -1,0 +1,189 @@
+package core
+
+import "math"
+
+// Parallel candidate evaluation (Options.Workers > 1). place dispatches
+// here instead of the serial strategy code; the schedule that comes out is
+// byte-identical to the serial engine's at any worker count, which is
+// pinned by the worker-sweeping oracle suite and FuzzMapParallel.
+//
+// Per task the scheme has three phases:
+//
+//  1. Enumerate. The coordinator lists the candidate placements the
+//     serial engine would evaluate, using only the cost model and the
+//     committed state (no estimator calls): the strategy's adoption
+//     candidate — delta's selected predecessor or time-cost's accepted
+//     stretch — plus, exactly when the serial engine would need it, the
+//     baseline family (the earliest-available set and, under the
+//     PredOverlap ablation, one predecessor-anchored set per in-edge)
+//     and the time-cost pack candidates.
+//  2. Evaluate. The worker pool scores all candidates concurrently. Each
+//     lane materializes the candidate's processor list in its own pooled
+//     buffer, aligns with its own scratch and estimates with its own
+//     memo. The index→lane assignment is dynamic (work stealing), which
+//     cannot perturb the result: during one task's evaluation the
+//     committed state is immutable, so a candidate's placement value is
+//     a pure function of its spec — identical on every lane.
+//  3. Reduce. The coordinator replays the serial comparison order over
+//     the indexed results: strict-< first-wins across the baseline
+//     family, the delta EFT guard against the reduced baseline, the
+//     time-cost pack rule in inheritablePreds order. First-wins ties
+//     therefore resolve by candidate index, never by completion order.
+
+// Candidate kinds: how a lane materializes the processor list.
+const (
+	candAvail   = iota // earliest-available set, rank-aligned
+	candOverlap        // truncateOrExtend over a predecessor's set, aligned (PredOverlap)
+	candAdopt          // verbatim copy of a predecessor's set (adopt/stretch/pack)
+)
+
+// parCand is one candidate of the current task: its spec (written by the
+// coordinator), and the evaluated placement plus the lane that owns its
+// buffer (written by exactly one worker).
+type parCand struct {
+	kind int
+	pred int // source predecessor for overlap/adopt kinds; −1 for avail
+	wkr  int // lane that evaluated: loser buffers return to its pool
+	pl   placement
+}
+
+// evalCand scores one candidate on lane worker. Called concurrently on
+// distinct candidates; reads only committed state.
+func (m *mapper) evalCand(worker, t int, c *parCand) {
+	w := &m.ws[worker]
+	c.wkr = worker
+	var procs []int
+	switch c.kind {
+	case candAvail, candOverlap:
+		k := m.alloc[t]
+		if k > m.cl.P {
+			k = m.cl.P
+		}
+		set := m.byAvail[:k]
+		if c.kind == candOverlap {
+			set = truncateOrExtend(m.procs[c.pred], m.byAvail, k)
+		}
+		procs = m.alignToHeaviestPred(w, t, set)
+	default: // candAdopt
+		procs = append(w.getBuf(), m.procs[c.pred]...)
+	}
+	c.pl = m.evalOn(w, t, procs)
+}
+
+// placeParallel is place's strategy dispatch for the parallel engine:
+// enumerate → evaluate on the pool → reduce in serial order → commit.
+// It returns the adopted predecessor or −1, like the serial path.
+func (m *mapper) placeParallel(t int) int {
+	cands := m.parCands[:0]
+
+	// Phase 1: enumerate. adoptIdx is the strategy's adoption candidate
+	// (delta adopt or time-cost stretch); needBase mirrors exactly the
+	// serial control flow's baselinePlacement calls, fallback included.
+	adoptPred, adoptIdx := -1, -1
+	needBase := false
+	switch m.opts.Strategy {
+	case StrategyDelta:
+		if pred := m.deltaAdoptPred(t); pred >= 0 {
+			adoptPred, adoptIdx = pred, len(cands)
+			cands = append(cands, parCand{kind: candAdopt, pred: pred})
+		}
+		// The baseline is evaluated for the EFT guard, or as the
+		// fallback when no predecessor fits the δ bounds.
+		needBase = adoptIdx < 0 || m.opts.DeltaEFTGuard
+	case StrategyTimeCost:
+		if pred := m.timeCostStretchPred(t); pred >= 0 {
+			adoptPred, adoptIdx = pred, len(cands)
+			cands = append(cands, parCand{kind: candAdopt, pred: pred})
+		}
+		// Packing compares against the baseline; without packing the
+		// baseline is only the no-stretch fallback.
+		needBase = m.opts.Packing || adoptIdx < 0
+	default:
+		needBase = true
+	}
+	baseStart, baseEnd := len(cands), len(cands)
+	if needBase {
+		cands = append(cands, parCand{kind: candAvail, pred: -1})
+		if m.opts.PredOverlap {
+			for _, pred := range m.realPreds(t) {
+				cands = append(cands, parCand{kind: candOverlap, pred: pred})
+			}
+		}
+		baseEnd = len(cands)
+	}
+	packStart, packEnd := len(cands), len(cands)
+	if m.opts.Strategy == StrategyTimeCost && m.opts.Packing {
+		for _, p := range m.inheritablePreds(t) {
+			if len(m.procs[p]) < m.alloc[t] {
+				cands = append(cands, parCand{kind: candAdopt, pred: p})
+			}
+		}
+		packEnd = len(cands)
+	}
+
+	// Phase 2: evaluate. The slice header must be published before Run —
+	// workers index m.parCands directly (parFn allocates no per-task
+	// closure).
+	m.parCands = cands
+	m.parT = t
+	m.pool.Run(len(cands), m.parFn)
+
+	// Phase 3: reduce. reduceBase replays the baseline family's serial
+	// loop: candidates in enumeration order, strict < to replace.
+	reduceBase := func() int {
+		bi := baseStart
+		for i := baseStart + 1; i < baseEnd; i++ {
+			if cands[i].pl.eft < cands[bi].pl.eft {
+				bi = i
+			}
+		}
+		return bi
+	}
+	winner, pred := -1, -1
+	switch {
+	case m.opts.Strategy == StrategyDelta && adoptIdx >= 0:
+		winner, pred = adoptIdx, adoptPred
+		if m.opts.DeltaEFTGuard {
+			if bi := reduceBase(); cands[bi].pl.eft < cands[adoptIdx].pl.eft {
+				// Guard rejects the adoption. The serial engine falls back
+				// to a fresh baselinePlacement; its value equals the
+				// reduced baseline here (evalOn is pure), so reuse it.
+				winner, pred = bi, -1
+			}
+		}
+	case m.opts.Strategy == StrategyTimeCost:
+		best, bestPred := adoptIdx, adoptPred
+		bestEFT := math.Inf(1)
+		if best >= 0 {
+			bestEFT = cands[best].pl.eft
+		}
+		if m.opts.Packing {
+			baseEFT := cands[reduceBase()].pl.eft
+			for i := packStart; i < packEnd; i++ {
+				if eft := cands[i].pl.eft; eft <= baseEFT && eft < bestEFT {
+					best, bestPred, bestEFT = i, cands[i].pred, eft
+				}
+			}
+		}
+		if best >= 0 {
+			winner, pred = best, bestPred
+		} else {
+			winner, pred = reduceBase(), -1
+		}
+	default:
+		winner, pred = reduceBase(), -1
+	}
+
+	// Losers' buffers return to the lanes that built them; the winner's
+	// transfers to the schedule via commit.
+	for i := range cands {
+		if i != winner {
+			m.ws[cands[i].wkr].putBuf(cands[i].pl.procs)
+		}
+	}
+	if pred >= 0 {
+		m.claimed[pred] = true
+	}
+	m.commit(t, cands[winner].pl)
+	return pred
+}

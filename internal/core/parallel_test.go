@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/dag"
+	"repro/internal/gen"
+	"repro/internal/moldable"
+	"repro/internal/platform"
+)
+
+// TestParallelMapMatchesSerialOracle is the randomized worker-sweep
+// equivalence suite: every (cluster, allocator, strategy) combination maps
+// a random graph serially (the oracle) and at a sweep of worker counts;
+// each parallel schedule must be byte-identical (scheduleDigest covers
+// every observable field, floats rendered exactly). Option variations fold
+// the PredOverlap and guard-disabled code paths into the sweep. The full
+// {1, 2, 3, 4, 8, GOMAXPROCS} sweep runs on the paper-scale cluster; the
+// 512-processor clusters (whose per-run cost dominates) get smaller graphs
+// and a thinned sweep so the suite stays race-detector friendly.
+func TestParallelMapMatchesSerialOracle(t *testing.T) {
+	fullSweep := []int{1, 2, 3, 4, 8, runtime.GOMAXPROCS(0)}
+	clusters := []struct {
+		cl     *platform.Cluster
+		sweep  []int
+		bigCap bool
+	}{
+		{platform.Grelon(), fullSweep, false},
+		{platform.Big512(), []int{1, 2, 4, 8}, true},
+		{platform.Big512Het(), []int{2, 8}, true},
+	}
+	allocators := []struct {
+		name string
+		opts alloc.Options
+	}{
+		{"cpa", alloc.Options{Method: alloc.CPA}},
+		{"hcpa", alloc.DefaultOptions()},
+		{"mcpa", alloc.Options{Method: alloc.MCPA}},
+	}
+	strategies := []Strategy{StrategyNone, StrategyDelta, StrategyTimeCost}
+
+	rng := rand.New(rand.NewSource(8))
+	combo := 0
+	for _, cc := range clusters {
+		cl, workerCounts := cc.cl, cc.sweep
+		for _, al := range allocators {
+			for _, st := range strategies {
+				combo++
+				var g *dag.Graph
+				if cc.bigCap {
+					g = gen.Random(gen.RandomParams{
+						N: 18 + rng.Intn(10), Width: 0.3 + 0.6*rng.Float64(),
+						Regularity: rng.Float64(), Density: 0.2 + 0.6*rng.Float64(),
+						Layered: true, Seed: rng.Int63()})
+				} else {
+					g = randomGraph(rng)
+				}
+				costs := moldable.NewCosts(g, cl.PlanSpeedGFlops())
+				a := alloc.Compute(g, costs, cl, al.opts)
+				opts := DefaultNaive(st)
+				if combo%3 == 0 {
+					opts.PredOverlap = true
+				}
+				if combo%4 == 1 {
+					opts.DeltaEFTGuard = false
+				}
+				want := scheduleDigest(Map(g, costs, cl, a, opts))
+				for _, w := range workerCounts {
+					opts.Workers = w
+					s := Map(g, costs, cl, a, opts)
+					if err := s.Validate(g, cl); err != nil {
+						t.Fatalf("%s/%s/%v workers=%d: invalid schedule: %v", cl.Name, al.name, st, w, err)
+					}
+					if got := scheduleDigest(s); got != want {
+						t.Errorf("%s/%s/%v workers=%d: digest %s != serial oracle %s",
+							cl.Name, al.name, st, w, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzMapParallel fuzzes the parallel engine against the serial oracle
+// over random workloads, worker counts and option combinations. The seed
+// corpus runs as a regular test; `go test -fuzz=FuzzMapParallel
+// ./internal/core/` explores further.
+func FuzzMapParallel(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(0), uint8(0))
+	f.Add(int64(42), uint8(7), uint8(1), uint8(1))
+	f.Add(int64(99), uint8(14), uint8(2), uint8(2))
+	f.Add(int64(-7), uint8(3), uint8(2), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, workersRaw, stRaw, kindRaw uint8) {
+		workers := 2 + int(workersRaw)%15
+		st := []Strategy{StrategyNone, StrategyDelta, StrategyTimeCost}[int(stRaw)%3]
+		var g *dag.Graph
+		switch int(kindRaw) % 3 {
+		case 0:
+			g = gen.Random(gen.RandomParams{
+				N: 25, Width: 0.8, Regularity: 0.2, Density: 0.4, Layered: true, Seed: seed})
+		case 1:
+			g = gen.FFT(4, seed)
+		default:
+			g = gen.Strassen(seed)
+		}
+		cl := platform.Grelon()
+		costs, a := setup(g, cl)
+		opts := DefaultNaive(st)
+		if int(kindRaw)%5 == 3 {
+			opts.PredOverlap = true
+		}
+		if int(kindRaw)%7 == 4 {
+			opts.DeltaEFTGuard = false
+		}
+		want := scheduleDigest(Map(g, costs, cl, a, opts))
+		opts.Workers = workers
+		if got := scheduleDigest(Map(g, costs, cl, a, opts)); got != want {
+			t.Fatalf("workers=%d strategy=%v: digest %s != serial %s", workers, st, got, want)
+		}
+	})
+}
+
+// TestMapContextReuseParallelDigestIdentical extends the pooled-context
+// equivalence test to the parallel engine: one reused context per cluster
+// serves a mixed request stream whose worker counts vary per request
+// (including dropping back to serial), and every schedule must match fresh
+// serial construction. This exercises lane growth and reuse — a request
+// with 8 workers leaves behind 8 lanes the next serial request must not
+// trip over.
+func TestMapContextReuseParallelDigestIdentical(t *testing.T) {
+	clusters := []*platform.Cluster{platform.Grelon(), platform.Big512()}
+	pooled := make([]*MapContext, len(clusters))
+	for i, cl := range clusters {
+		pooled[i] = NewMapContext(cl)
+	}
+	rng := rand.New(rand.NewSource(20260808))
+	strategies := []Strategy{StrategyNone, StrategyDelta, StrategyTimeCost}
+	workerChoices := []int{1, 2, 4, 8}
+
+	const requests = 40
+	for i := 0; i < requests; i++ {
+		ci := rng.Intn(len(clusters))
+		cl := clusters[ci]
+		g := randomGraph(rng)
+		opts := DefaultNaive(strategies[rng.Intn(len(strategies))])
+		costs, a := setup(g, cl)
+
+		serial := opts
+		serial.Workers = 1
+		want := scheduleDigest(Map(g, costs, cl, a, serial))
+
+		opts.Workers = workerChoices[rng.Intn(len(workerChoices))]
+		reused := pooled[ci].Map(g, costs, a, opts)
+		if got := scheduleDigest(reused); got != want {
+			t.Fatalf("request %d (%s, %v, workers=%d): reused-context digest %s != serial %s",
+				i, cl.Name, opts.Strategy, opts.Workers, got, want)
+		}
+		if err := reused.Validate(g, cl); err != nil {
+			t.Fatalf("request %d: invalid schedule: %v", i, err)
+		}
+	}
+}
+
+// TestParallelWorkerStarvation is the adversarial sweep: far more workers
+// than candidates (a task rarely has more than a handful) and than tasks.
+// Starved workers must neither deadlock, nor race, nor perturb the
+// schedule.
+func TestParallelWorkerStarvation(t *testing.T) {
+	solo := dag.NewGraph(1, 0)
+	solo.AddTask(dag.Task{Name: "solo", M: 20e6, A: 100, Alpha: 0.2})
+	fork := dag.NewGraph(4, 3)
+	fork.AddTask(dag.Task{Name: "src", M: 20e6, A: 100, Alpha: 0.1})
+	for i := 0; i < 3; i++ {
+		fork.AddTask(dag.Task{Name: fmt.Sprintf("c%d", i), M: 10e6, A: 100, Alpha: 0.1})
+		fork.AddEdge(0, i+1, fork.Tasks[0].Bytes())
+	}
+	fork.Normalize()
+	graphs := []*dag.Graph{solo, chain(2, 15e6), fork}
+
+	for _, cl := range []*platform.Cluster{platform.Chti(), platform.Grillon()} {
+		for gi, g := range graphs {
+			costs, a := setup(g, cl)
+			for _, st := range []Strategy{StrategyNone, StrategyDelta, StrategyTimeCost} {
+				opts := DefaultNaive(st)
+				want := scheduleDigest(Map(g, costs, cl, a, opts))
+				for _, w := range []int{32, 64} {
+					opts.Workers = w
+					s := Map(g, costs, cl, a, opts)
+					if err := s.Validate(g, cl); err != nil {
+						t.Fatalf("%s graph %d %v workers=%d: %v", cl.Name, gi, st, w, err)
+					}
+					if got := scheduleDigest(s); got != want {
+						t.Errorf("%s graph %d %v workers=%d: digest %s != serial %s",
+							cl.Name, gi, st, w, got, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -104,6 +104,12 @@ type Runner struct {
 	// per-spec modes, so configurations that sweep alignment themselves —
 	// the root ablation benches — are unaffected.
 	Align *redist.AlignMode
+	// MapWorkers shards each scenario's candidate evaluation across this
+	// many lanes inside the mapper (0 or 1 = serial; results are
+	// byte-identical either way). Composes with Workers, which
+	// parallelizes across scenarios: cross-scenario parallelism wins when
+	// scenarios are plentiful, mapper lanes when a few huge DAGs dominate.
+	MapWorkers int
 }
 
 // NewRunner returns a Runner with the paper's defaults.
@@ -139,6 +145,9 @@ func (r *Runner) Run(scens []Scenario, cl *platform.Cluster, algos []AlgoSpec) (
 			mapOpts := spec.Map
 			if r.Align != nil {
 				mapOpts.Align = *r.Align
+			}
+			if r.MapWorkers > 0 {
+				mapOpts.Workers = r.MapWorkers
 			}
 			sched := core.Map(g, costs, cl, taskAlloc, mapOpts)
 			sig := scheduleSignature(sched)

@@ -61,7 +61,8 @@ type ScheduleRequest struct {
 	MaxDelta    *float64     `json:"max_delta,omitempty"`
 	MinRho      *float64     `json:"min_rho,omitempty"`
 	Packing     *bool        `json:"packing,omitempty"`
-	TimeoutMs   int          `json:"timeout_ms,omitempty"` // per-request deadline; default ServerConfig.DefaultTimeout
+	MapWorkers  int          `json:"map_workers,omitempty"` // mapper evaluation lanes; 0 = ServerConfig.MapWorkers
+	TimeoutMs   int          `json:"timeout_ms,omitempty"`  // per-request deadline; default ServerConfig.DefaultTimeout
 
 	DAG json.RawMessage `json:"dag"` // rats.DAG wire format (MarshalJSON schema)
 }
@@ -91,12 +92,13 @@ type requestSpec struct {
 	minRho             float64
 	hasRho             bool
 	packing            *bool
+	mapWorkers         int // resolved lanes; 0 = library default (serial)
 
 	clusterKey string // context-pool key: cluster identity only
 	batchKey   string // batcher key: cluster identity + every option
 }
 
-func parseSpec(req *ScheduleRequest) (*requestSpec, error) {
+func parseSpec(req *ScheduleRequest, defaultMapWorkers int) (*requestSpec, error) {
 	sp := &requestSpec{}
 	switch {
 	case req.ClusterSpec != nil:
@@ -164,6 +166,18 @@ func parseSpec(req *ScheduleRequest) (*requestSpec, error) {
 		sp.minRho, sp.hasRho = *req.MinRho, true
 	}
 	sp.packing = req.Packing
+	// Resolve the mapper's evaluation-lane count: an explicit request
+	// wins, 0 inherits the server default, and negative values are a 400 —
+	// the same stance WithMapWorkers takes, but caught before the
+	// scheduler so a malformed request cannot fail a whole batch.
+	switch {
+	case req.MapWorkers < 0:
+		return nil, fmt.Errorf("serve: map_workers must be ≥ 0, got %d", req.MapWorkers)
+	case req.MapWorkers > 0:
+		sp.mapWorkers = req.MapWorkers
+	default:
+		sp.mapWorkers = defaultMapWorkers
+	}
 
 	packing := "default"
 	if sp.packing != nil {
@@ -177,9 +191,12 @@ func parseSpec(req *ScheduleRequest) (*requestSpec, error) {
 	if sp.hasRho {
 		rho = fmt.Sprintf("%g", sp.minRho)
 	}
-	sp.batchKey = fmt.Sprintf("%s|%s/%s/%s/%s/%s/%s/%s",
+	// mapWorkers is part of the batch key: requests with different lane
+	// counts must not share a batch, since the batch's one Scheduler
+	// carries the setting for every request it executes.
+	sp.batchKey = fmt.Sprintf("%s|%s/%s/%s/%s/%s/%s/%s/mw%d",
 		sp.clusterKey, sp.strategy, sp.allocator, sp.alignment, sp.flow,
-		delta, rho, packing)
+		delta, rho, packing, sp.mapWorkers)
 	return sp, nil
 }
 
@@ -201,6 +218,9 @@ func (sp *requestSpec) options() []rats.Option {
 	if sp.packing != nil {
 		opts = append(opts, rats.WithPacking(*sp.packing))
 	}
+	if sp.mapWorkers > 0 {
+		opts = append(opts, rats.WithMapWorkers(sp.mapWorkers))
+	}
 	return opts
 }
 
@@ -214,6 +234,11 @@ type ServerConfig struct {
 	// DefaultTimeout is the per-request deadline applied when a request
 	// does not carry timeout_ms (default 30s).
 	DefaultTimeout time.Duration
+	// MapWorkers is the mapper evaluation-lane count applied to requests
+	// that do not carry map_workers (default 0 = serial mapping). The
+	// parallel mapper is byte-identical to the serial one, so this knob
+	// only trades batch throughput against per-request latency.
+	MapWorkers int
 	// Log receives structured service logs (default slog.Default()).
 	Log *slog.Logger
 }
@@ -303,7 +328,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, m, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	spec, err := parseSpec(&req)
+	spec, err := parseSpec(&req, s.cfg.MapWorkers)
 	if err != nil {
 		m.Status = http.StatusBadRequest
 		s.writeError(w, m, err)

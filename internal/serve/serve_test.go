@@ -387,3 +387,62 @@ func TestServeCustomClusterSpec(t *testing.T) {
 		t.Fatalf("custom-cluster served result diverges:\n%s\nvs\n%s", sr.Result, wantBlob)
 	}
 }
+
+// TestServeMapWorkers covers the map_workers knob end to end: an explicit
+// request value produces a result byte-identical to a serial library run
+// (the parallel mapper may never change a schedule), a server-wide default
+// applies to requests that omit the field, differing lane counts split
+// batches, and a negative value is a 400.
+func TestServeMapWorkers(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{MapWorkers: 2})
+	d := rats.FFT(16, 5)
+
+	want, err := rats.New(rats.WithCluster(rats.Grelon()), rats.WithStrategy(rats.TimeCost)).Schedule(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBlob, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, fields := range []map[string]any{
+		{"cluster": "grelon", "strategy": "time-cost", "map_workers": 4}, // explicit
+		{"cluster": "grelon", "strategy": "time-cost"},                   // server default (2)
+	} {
+		resp, sr := postSchedule(t, ts.URL, scheduleBody(t, d, fields))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fields %v: HTTP %d: %s", fields, resp.StatusCode, sr.Error)
+		}
+		if string(sr.Result) != string(wantBlob) {
+			t.Fatalf("fields %v: parallel-mapped served result diverges from serial library run", fields)
+		}
+	}
+
+	resp, sr := postSchedule(t, ts.URL, scheduleBody(t, d,
+		map[string]any{"cluster": "grelon", "map_workers": -1}))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("map_workers=-1: HTTP %d (%s), want 400", resp.StatusCode, sr.Error)
+	}
+
+	// Lane counts are part of the batch key: the same options with
+	// different map_workers must parse to different keys.
+	a, err := parseSpec(&ScheduleRequest{Cluster: "grelon", MapWorkers: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parseSpec(&ScheduleRequest{Cluster: "grelon", MapWorkers: 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.batchKey == b.batchKey {
+		t.Fatalf("map_workers 2 and 4 share batch key %q", a.batchKey)
+	}
+	c, err := parseSpec(&ScheduleRequest{Cluster: "grelon"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.batchKey != a.batchKey {
+		t.Fatalf("server default 2 keys %q, explicit 2 keys %q — should batch together", c.batchKey, a.batchKey)
+	}
+}

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestStartFlowBatchMatchesStartFlow is the batching oracle: random flow
+// populations (mixed routes, rate caps, latencies, plus self-flows and
+// zero-byte transfers) are run once as individual StartFlow calls and once
+// grouped into per-latency batches. The completion event sequences — every
+// timestamp, in firing order — must be identical, which pins the ordering
+// contract StartFlowBatch documents: member order into the rate solver and
+// tie-break order out of it match the equivalent StartFlow sequence.
+func TestStartFlowBatchMatchesStartFlow(t *testing.T) {
+	type spec struct {
+		links   []int
+		rateCap float64
+		bytes   float64
+		lat     float64
+	}
+	rng := rand.New(rand.NewSource(11))
+	lats := []float64{0, 0.25, 0.5}
+	for trial := 0; trial < 40; trial++ {
+		caps := make([]float64, 3+rng.Intn(4))
+		for i := range caps {
+			caps[i] = 50 + 200*rng.Float64()
+		}
+		specs := make([]spec, 1+rng.Intn(12))
+		for i := range specs {
+			var links []int
+			for l := range caps {
+				if rng.Intn(2) == 0 {
+					links = append(links, l)
+				}
+			}
+			bytes := 10 + 2000*rng.Float64()
+			switch rng.Intn(8) {
+			case 0:
+				links = nil // self-flow: completes after latency alone
+			case 1:
+				bytes = 0 // zero-byte virtual edge
+			}
+			rc := 0.0
+			if rng.Intn(2) == 0 {
+				rc = 20 + 100*rng.Float64()
+			}
+			specs[i] = spec{links, rc, bytes, lats[rng.Intn(len(lats))]}
+		}
+
+		run := func(batched bool) []float64 {
+			e := New(caps)
+			var times []float64
+			done := func() { times = append(times, e.Now()) }
+			if !batched {
+				for _, s := range specs {
+					e.StartFlow(s.links, s.rateCap, s.lat, s.bytes, done)
+				}
+			} else {
+				// Group by latency in first-appearance order — the same
+				// transformation the simdag replay applies per edge.
+				var seen []float64
+				for _, s := range specs {
+					dup := false
+					for _, l := range seen {
+						if l == s.lat {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						seen = append(seen, s.lat)
+					}
+				}
+				var group []FlowSpec
+				for _, l := range seen {
+					group = group[:0]
+					for _, s := range specs {
+						if s.lat == l {
+							group = append(group, FlowSpec{Links: s.links, RateCap: s.rateCap, Bytes: s.bytes})
+						}
+					}
+					e.StartFlowBatch(l, group, done)
+				}
+			}
+			e.Run()
+			return times
+		}
+
+		individual, batched := run(false), run(true)
+		if len(individual) != len(batched) {
+			t.Fatalf("trial %d: %d completions batched vs %d individual", trial, len(batched), len(individual))
+		}
+		for i := range individual {
+			if math.Abs(individual[i]-batched[i]) > 1e-12 {
+				t.Fatalf("trial %d completion %d: batched at %g, individual at %g",
+					trial, i, batched[i], individual[i])
+			}
+		}
+	}
+}
+
+// TestStartFlowBatchRecyclesAndChains exercises the batch pool across
+// waves: a completion callback launches the next batch, and the engine is
+// re-run after going idle. Both reuse paths must hand out clean carriers.
+func TestStartFlowBatchRecyclesAndChains(t *testing.T) {
+	e := New([]float64{100})
+	completions := 0
+	var secondWave func()
+	secondWave = func() {
+		completions++
+		if completions == 2 {
+			// First wave fully drained: chain a second batch from inside
+			// the callback, reusing the recycled carrier.
+			e.StartFlowBatch(0.5, []FlowSpec{{Links: []int{0}, Bytes: 100}}, func() { completions++ })
+		}
+	}
+	e.StartFlowBatch(0, []FlowSpec{
+		{Links: []int{0}, Bytes: 100},
+		{Links: []int{0}, Bytes: 100},
+	}, secondWave)
+	e.Run()
+	if completions != 3 {
+		t.Fatalf("completions = %d, want 3", completions)
+	}
+	// Idle engine, third wave: Run again after quiescence.
+	e.StartFlowBatch(0, []FlowSpec{{Bytes: 5}, {Links: []int{0}, Bytes: 50}}, func() { completions++ })
+	e.Run()
+	if completions != 5 {
+		t.Fatalf("completions after re-run = %d, want 5", completions)
+	}
+	// The caller's spec slice must not be retained.
+	reused := []FlowSpec{{Links: []int{0}, Bytes: 70}}
+	fired := false
+	e.StartFlowBatch(0.1, reused, func() { fired = true })
+	reused[0] = FlowSpec{} // clobber before the batch fires
+	e.Run()
+	if !fired {
+		t.Fatal("clobbering the caller's slice reached the batch")
+	}
+}
+
+// TestStartFlowBatchSteadyStateAllocFree pins the point of batching: once
+// the engine's pools are warm (batch carriers, timer heap, solver
+// entities), registering and draining a 64-flow batch allocates nothing at
+// all. The equivalent StartFlow sequence pays one captured closure per
+// flow on every cycle, warm or not.
+func TestStartFlowBatchSteadyStateAllocFree(t *testing.T) {
+	e := New([]float64{100, 100})
+	specs := make([]FlowSpec, 64)
+	for i := range specs {
+		specs[i] = FlowSpec{Links: []int{i % 2}, Bytes: 100}
+	}
+	done := func() {}
+	for i := 0; i < 3; i++ { // warm every pool on the cycle's path
+		e.StartFlowBatch(0.1, specs, done)
+		e.Run()
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		e.StartFlowBatch(0.1, specs, done)
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("warm 64-flow batch cycle allocates %.1f times, want 0", allocs)
+	}
+}

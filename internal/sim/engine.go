@@ -46,10 +46,11 @@ func (s Solver) String() string {
 // safe for concurrent use (simulations are single-threaded; parallelism in
 // the experiment harness is across independent engines).
 type Engine struct {
-	now    float64
-	timers timerHeap
-	seq    int64
-	pool   flowPool
+	now       float64
+	timers    timerHeap
+	seq       int64
+	pool      flowPool
+	batchPool []*flowBatch // recycled StartFlowBatch carriers
 }
 
 // flowPool owns the in-flight fluid flows: their rates, their residual
@@ -175,6 +176,71 @@ func (e *Engine) StartFlow(links []int, rateCap, latency, bytes float64, done fu
 		return
 	}
 	e.After(latency, func() { e.pool.start(links, rateCap, bytes, done) })
+}
+
+// FlowSpec describes one transfer of a StartFlowBatch call: the route, the
+// per-flow rate cap (β', if positive) and the volume. A spec with no links
+// or a negligible volume completes at batch fire time, mirroring
+// StartFlow's self-flow and zero-byte rules.
+type FlowSpec struct {
+	Links   []int
+	RateCap float64
+	Bytes   float64
+}
+
+// StartFlowBatch begins a group of transfers that share one latency and one
+// completion callback, invoked once per spec — exactly equivalent to
+// len(specs) consecutive StartFlow calls with the same latency and done,
+// including the order in which the flows enter the rate solver and the
+// order in which simultaneous completions fire. The batch costs a single
+// timer and no per-flow closures, where the equivalent StartFlow sequence
+// pays one captured closure per wire flow; at replay scale that closure is
+// the last per-flow allocation. The specs slice is copied: callers may
+// reuse it immediately.
+func (e *Engine) StartFlowBatch(latency float64, specs []FlowSpec, done func()) {
+	if len(specs) == 0 {
+		return
+	}
+	var b *flowBatch
+	if k := len(e.batchPool); k > 0 {
+		b = e.batchPool[k-1]
+		e.batchPool = e.batchPool[:k-1]
+	} else {
+		b = &flowBatch{e: e}
+		b.fire = b.run
+	}
+	b.specs = append(b.specs[:0], specs...)
+	b.done = done
+	e.After(latency, b.fire)
+}
+
+// flowBatch carries one StartFlowBatch call from registration to its fire
+// time. The fire closure is bound once per pool entry, so a recycled batch
+// reaches the timer heap without allocating.
+type flowBatch struct {
+	e     *Engine
+	specs []FlowSpec
+	done  func()
+	fire  func()
+}
+
+func (b *flowBatch) run() {
+	e, done := b.e, b.done
+	for i := range b.specs {
+		s := &b.specs[i]
+		if len(s.Links) == 0 || s.Bytes <= completionEps {
+			// Inline completion keeps the spec's position in the batch: a
+			// StartFlow sequence would fire this done between the
+			// neighboring flow starts via its own same-time timer.
+			done()
+		} else {
+			e.pool.start(s.Links, s.RateCap, s.Bytes, done)
+		}
+		s.Links = nil // don't pin the caller's route arena past the start
+	}
+	b.specs = b.specs[:0]
+	b.done = nil
+	e.batchPool = append(e.batchPool, b)
 }
 
 // ActiveFlows returns the number of in-flight fluid flows (post-latency).

@@ -135,6 +135,15 @@ type replay struct {
 
 	waitPool []*edgeWait       // recycled edge-completion trackers
 	slab     []platform.LinkID // route arena: flows slice one chunked backing array
+
+	// Scratch for startRedist's batched flow launch, reused across edges:
+	// the edge's wire-flow specs, their latencies (parallel slice), the
+	// distinct latencies in first-appearance order, and the spec group
+	// handed to one StartFlowBatch call.
+	specBuf  []sim.FlowSpec
+	latBuf   []float64
+	lats     []float64
+	groupBuf []sim.FlowSpec
 }
 
 // edgeWait tracks one in-flight redistribution: the pending wire-flow count
@@ -231,17 +240,52 @@ func (rp *replay) startRedist(e dag.Edge) {
 	w := rp.getWait()
 	w.remaining = pending
 	w.eid, w.to = e.ID, to
+	// Collect the edge's wire flows, then launch them grouped by latency —
+	// one StartFlowBatch per distinct route latency instead of one StartFlow
+	// (and one captured closure) per flow. All of an edge's flows register
+	// here, inside one timer callback, so their engine timers would have
+	// been consecutive; grouping by exact latency in first-appearance order
+	// therefore preserves the relative order of the flow starts at every
+	// fire time, and with it the rate solver's member order and completion
+	// tie-breaks.
+	rp.specBuf, rp.latBuf, rp.lats = rp.specBuf[:0], rp.latBuf[:0], rp.lats[:0]
 	redist.VisitBlocks(e.Bytes, len(senders), len(receivers), func(i, j int, v float64) {
 		src, dst := senders[i], receivers[j]
 		if src == dst {
 			return
 		}
 		links, lat := rp.route(src, dst)
-		rateCap := rp.cl.EffectiveBandwidth(src, dst)
 		res.RemoteBytes += v
 		res.FlowCount++
-		eng.StartFlow(links, rateCap, lat, v, w.cb)
+		rp.specBuf = append(rp.specBuf, sim.FlowSpec{
+			Links: links, RateCap: rp.cl.EffectiveBandwidth(src, dst), Bytes: v,
+		})
+		rp.latBuf = append(rp.latBuf, lat)
+		for _, l := range rp.lats {
+			if l == lat {
+				return
+			}
+		}
+		rp.lats = append(rp.lats, lat)
 	})
+	for _, l := range rp.lats {
+		group := rp.groupBuf[:0]
+		for k, lat := range rp.latBuf {
+			if lat == l {
+				group = append(group, rp.specBuf[k])
+			}
+		}
+		rp.groupBuf = group
+		eng.StartFlowBatch(l, group, w.cb)
+	}
+	// Drop the scratch's route references: the batches hold their own
+	// copies, and lingering ones would pin retired arena chunks.
+	for k := range rp.specBuf {
+		rp.specBuf[k].Links = nil
+	}
+	for k := range rp.groupBuf {
+		rp.groupBuf[k].Links = nil
+	}
 }
 
 func (rp *replay) onFinish(t int) {

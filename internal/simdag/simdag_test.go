@@ -292,3 +292,34 @@ func BenchmarkReplay50TaskIrregular(b *testing.B) {
 		}
 	}
 }
+
+// TestReplayAllocsBelowPerFlowCost guards the batched flow launch: before
+// StartFlowBatch, every wire flow paid at least one allocation (the
+// closure StartFlow captures per flow), so a replay's allocs/op was bounded
+// below by its FlowCount — measured 2447 allocs for the 1102-flow scenario
+// here. Batched, the same replay measures ~1423: the remainder is
+// first-use pool growth (solver entities, edge waits, timers) that a fresh
+// Execute cannot avoid, comfortably under the per-flow floor.
+func TestReplayAllocsBelowPerFlowCost(t *testing.T) {
+	cl := platform.Grillon()
+	g := gen.Random(gen.RandomParams{N: 50, Width: 0.5, Regularity: 0.2, Density: 0.8, Layered: false, Jump: 2, Seed: 3})
+	costs := moldable.NewCosts(g, cl.SpeedGFlops)
+	a := alloc.Compute(g, costs, cl, alloc.DefaultOptions())
+	s := core.Map(g, costs, cl, a, core.DefaultNaive(core.StrategyTimeCost))
+	r, err := Execute(g, costs, cl, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FlowCount < 1000 {
+		t.Fatalf("scenario too small to discriminate: %d flows", r.FlowCount)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := Execute(g, costs, cl, s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if limit := 1.5 * float64(r.FlowCount); allocs >= limit {
+		t.Errorf("replay allocates %.0f times for %d flows (limit %.0f): per-flow setup cost is back",
+			allocs, r.FlowCount, limit)
+	}
+}
