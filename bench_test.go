@@ -372,12 +372,18 @@ func BenchmarkMap(b *testing.B) {
 			opts := core.DefaultNaive(core.StrategyTimeCost)
 			b.Run(fmt.Sprintf("%s/w=%.1f", cl.Name, width), func(b *testing.B) {
 				b.ReportAllocs()
+				var last *core.Schedule
 				for i := 0; i < b.N; i++ {
 					s := core.Map(g, costs, cl, a, opts)
 					if len(s.Order) != g.N() {
 						b.Fatal("incomplete schedule")
 					}
+					last = s
 				}
+				// Serial mapping is deterministic, so any iteration's
+				// counters represent the shape; benchtraj lifts this into
+				// the map_memo_hit_pct trajectory summary.
+				b.ReportMetric(last.Counters.MemoHitPct(), "memo-hit-pct")
 			})
 		}
 	}
@@ -677,6 +683,7 @@ func BenchmarkSim(b *testing.B) {
 				}
 				b.ResetTimer()
 				b.ReportAllocs()
+				var scratchPct float64
 				for i := 0; i < b.N; i++ {
 					res, err := simdag.ExecuteOpts(st.g, st.costs, st.cl, st.sched, simdag.Options{Solver: engine.solver})
 					if err != nil {
@@ -685,7 +692,11 @@ func BenchmarkSim(b *testing.B) {
 					if d := res.Makespan - st.ref; d > 1e-9*st.ref || -d > 1e-9*st.ref {
 						b.Fatalf("makespan diverged: %g (%s) vs %g (reference)", res.Makespan, engine.name, st.ref)
 					}
+					scratchPct = res.Counters.ScratchSolvePct()
 				}
+				// Replay is deterministic per shape; benchtraj lifts this
+				// into the sim_scratch_solve_pct trajectory summary.
+				b.ReportMetric(scratchPct, "scratch-solve-pct")
 			})
 		}
 	}

@@ -58,6 +58,11 @@ type Measurement struct {
 	P50Ns       float64 `json:"p50_ns,omitempty"`
 	P99Ns       float64 `json:"p99_ns,omitempty"`
 	SchedPerSec float64 `json:"sched_per_sec,omitempty"`
+
+	// Engine counter rates (b.ReportMetric units of the map and sim
+	// families).
+	MemoHitPct    float64 `json:"memo_hit_pct,omitempty"`
+	ScratchSolves float64 `json:"scratch_solve_pct,omitempty"`
 }
 
 // Entry is one trajectory point.
@@ -73,6 +78,8 @@ type Entry struct {
 	SimAllocRatio map[string]float64 `json:"sim_allocs_ratio_geomean,omitempty"`
 	MapNs         map[string]float64 `json:"map_ns_geomean,omitempty"`
 	MapAllocs     map[string]float64 `json:"map_allocs_mean,omitempty"`
+	MapMemoHit    map[string]float64 `json:"map_memo_hit_pct,omitempty"`
+	SimScratch    map[string]float64 `json:"sim_scratch_solve_pct,omitempty"`
 	MapParSpeed   map[string]float64 `json:"map_parallel_speedup,omitempty"`
 	ServeP50Ms    map[string]float64 `json:"serve_p50_ms,omitempty"`
 	ServeP99Ms    map[string]float64 `json:"serve_p99_ms,omitempty"`
@@ -187,9 +194,11 @@ func run(family, file, benchtime, label, pattern string, smoke bool) error {
 	case "sim":
 		entry.SimSpeed = simRatios(ms, "BenchmarkSim", func(m Measurement) float64 { return m.NsPerOp })
 		entry.SimAllocRatio = simRatios(ms, "BenchmarkRecompute", func(m Measurement) float64 { return m.MallocsOp })
+		entry.SimScratch = simScratchPcts(ms)
 	case "map":
 		entry.MapNs = mapGeomeans(ms, func(m Measurement) float64 { return m.NsPerOp })
 		entry.MapAllocs = mapMeans(ms, func(m Measurement) float64 { return m.AllocsOp })
+		entry.MapMemoHit = mapMeans(ms, func(m Measurement) float64 { return m.MemoHitPct })
 		entry.MapParSpeed = mapParSpeedups(ms)
 	case "serve":
 		entry.ServeP50Ms = serveMetric(ms, func(m Measurement) float64 { return m.P50Ns / 1e6 })
@@ -254,6 +263,10 @@ func parseBenchOutput(out string) []Measurement {
 				m.P99Ns = v
 			case "sched/s":
 				m.SchedPerSec = v
+			case "memo-hit-pct":
+				m.MemoHitPct = v
+			case "scratch-solve-pct":
+				m.ScratchSolves = v
 			}
 		}
 		if m.NsPerOp > 0 {
@@ -430,6 +443,33 @@ func serveMetric(ms []Measurement, metric func(Measurement) float64) map[string]
 		if v := metric(m); v > 0 {
 			out[parts[1]] = math.Round(v*100) / 100
 		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// simScratchPcts derives, per cluster, the arithmetic mean of the
+// scratch-solve-pct counter rate over the flownet replay shapes (the
+// maxmin reference has no scratch path, so its points are skipped). The
+// rate tracks how often the incremental engine's small-population scratch
+// path fired — a workload-shape property the trajectory watches alongside
+// the speedup it buys.
+func simScratchPcts(ms []Measurement) map[string]float64 {
+	sum := map[string]float64{}
+	counts := map[string]int{}
+	for _, m := range ms {
+		parts := strings.Split(m.Name, "/")
+		if len(parts) != 4 || parts[0] != "BenchmarkSim" || parts[3] != "flownet" {
+			continue
+		}
+		sum[parts[1]] += m.ScratchSolves
+		counts[parts[1]]++
+	}
+	out := map[string]float64{}
+	for cluster, n := range counts {
+		out[cluster] = math.Round(sum[cluster]/float64(n)*100) / 100
 	}
 	if len(out) == 0 {
 		return nil

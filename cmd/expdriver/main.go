@@ -5,7 +5,15 @@
 // Usage:
 //
 //	expdriver [-stride N] [-workers N] [-out DIR] [-only LIST] [-solver NAME]
-//	          [-align NAME]
+//	          [-align NAME] [-counters]
+//
+// -counters switches to a diagnostics report instead of the paper
+// experiments: it runs the three naive-parameter algorithms over the
+// grelon, big512 and heterogeneous scenario classes and prints the
+// engine-level counter rates (estimator memo hit rate, candidate dedup
+// skip rate, replay scratch-solve rate, alignment mode mix) summed per
+// algorithm. The big classes are capped to a few scenarios — the point is
+// rate measurement, not the full comparison.
 //
 // -stride subsamples the 557 application configurations (stride 1 = the
 // full evaluation; stride 4 keeps every 4th configuration) to bound the
@@ -42,6 +50,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/redist"
 )
@@ -56,15 +65,16 @@ func main() {
 	align := flag.String("align", "", "override receiver rank alignment for every algorithm: hungarian, greedy, none or auto (default: per-algorithm)")
 	cluster := flag.String("cluster", "grillon",
 		"cluster preset for the single-cluster experiments: "+strings.Join(platform.Names(), ", "))
+	counters := flag.Bool("counters", false, "report engine counter rates per scenario class instead of the paper experiments")
 	flag.Parse()
 
-	if err := run(*stride, *workers, *mapWorkers, *outDir, *only, *solver, *align, *cluster); err != nil {
+	if err := run(*stride, *workers, *mapWorkers, *outDir, *only, *solver, *align, *cluster, *counters); err != nil {
 		fmt.Fprintln(os.Stderr, "expdriver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(stride, workers, mapWorkers int, outDir, only, solver, align, cluster string) error {
+func run(stride, workers, mapWorkers int, outDir, only, solver, align, cluster string, counters bool) error {
 	want := map[string]bool{}
 	for _, s := range strings.Split(only, ",") {
 		if s = strings.TrimSpace(s); s != "" {
@@ -102,6 +112,10 @@ func run(stride, workers, mapWorkers int, outDir, only, solver, align, cluster s
 	grillon, err := platform.ByName(cluster)
 	if err != nil {
 		return err
+	}
+
+	if counters {
+		return emitCounters(runner, stride, outDir)
 	}
 
 	emit := func(name string, render func(w io.Writer) error) error {
@@ -348,6 +362,68 @@ func run(stride, workers, mapWorkers int, outDir, only, solver, align, cluster s
 		}
 	}
 	return nil
+}
+
+// counterClassCap bounds the production-scale classes of the -counters
+// report: the rates stabilize after a handful of scenarios, and each
+// big512 replay costs minutes.
+const counterClassCap = 6
+
+// emitCounters renders the -counters diagnostics report: per scenario
+// class, the naive-parameter algorithms' summed engine counters as rates.
+func emitCounters(runner *exp.Runner, stride int, outDir string) error {
+	grelon, err := platform.ByName("grelon")
+	if err != nil {
+		return err
+	}
+	capped := func(scens []exp.Scenario) []exp.Scenario {
+		if len(scens) > counterClassCap {
+			scens = scens[:counterClassCap]
+		}
+		return scens
+	}
+	classes := []struct {
+		name  string
+		scens []exp.Scenario
+		cl    *platform.Cluster
+	}{
+		{"grelon", exp.Subsample(exp.Scenarios(), stride), grelon},
+		{"big512", capped(exp.Subsample(exp.ScenariosAt(exp.ScaleBig512), stride)), exp.ScaleBig512.Cluster()},
+		{"het", exp.Subsample(exp.ScenariosAt(exp.ScaleGrelonHet), stride), exp.ScaleGrelonHet.Cluster()},
+	}
+	f, err := os.Create(filepath.Join(outDir, "counters.txt"))
+	if err != nil {
+		return err
+	}
+	w := io.MultiWriter(os.Stdout, f)
+	algos := exp.NaiveAlgos()
+	for _, c := range classes {
+		start := time.Now()
+		results, err := runner.Run(c.scens, c.cl, algos)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("counters %s: %w", c.name, err)
+		}
+		fmt.Fprintf(w, "== Engine counter rates: %s (%d scenarios on %s) ==\n",
+			c.name, len(c.scens), c.cl.Name)
+		for a, spec := range algos {
+			var sum obs.Counters
+			for s := range results[a] {
+				sum.Add(&results[a][s].Counters)
+			}
+			fmt.Fprintf(w, "%-22s memo-hit %5.1f%% (%d/%d) | dedup-skip %5.1f%% (%d skipped) | "+
+				"scratch-solve %5.1f%% (%d/%d) | align exact/greedy/capped %d/%d/%d\n",
+				spec.Name,
+				sum.MemoHitPct(), sum.MemoHits, sum.MemoProbes,
+				sum.DedupSkipPct(), sum.DedupSkips,
+				sum.ScratchSolvePct(), sum.SolvesScratch,
+				sum.SolvesFull+sum.SolvesIncremental+sum.SolvesScratch,
+				sum.AlignExact, sum.AlignGreedy, sum.AlignCapped)
+		}
+		fmt.Fprintf(os.Stdout, "-- counters %s done in %v --\n\n",
+			c.name, time.Since(start).Round(time.Millisecond))
+	}
+	return f.Close()
 }
 
 // writeExtended prints the summary lines of the extended comparison.

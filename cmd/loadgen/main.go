@@ -8,12 +8,18 @@
 //
 //	loadgen [-url http://localhost:8080] [-n 200] [-c 8] [-rate 0]
 //	        [-cluster grelon] [-strategy time-cost] [-dag fft] [-size 32]
-//	        [-timeout-ms 0] [-json]
+//	        [-timeout-ms 0] [-json] [-out metrics.jsonl]
 //
 // -rate 0 runs a closed loop: c workers fire requests back to back.
 // -rate > 0 runs an open loop at that many requests/second overall,
 // spread across the workers, which is the mode that exposes queueing
 // behaviour. The exit status is nonzero if any request fails.
+//
+// -out FILE writes one JSON line per answered request: the server-side
+// serve.RequestMetrics record from the response envelope (queue wait,
+// batch size, pipeline phase times, engine counters) joined with the
+// client-observed latency — the raw rows behind the percentile summary,
+// ready for jq or a dataframe.
 package main
 
 import (
@@ -36,6 +42,16 @@ type result struct {
 	status  int
 	latency time.Duration
 	err     error
+	serve   json.RawMessage // "serve" field of the response envelope, when parsed
+}
+
+// row is one -out JSONL record: the server-side per-request metrics joined
+// with what this client observed for the same request.
+type row struct {
+	ClientMs     float64         `json:"client_ms"`
+	ClientStatus int             `json:"client_status"`
+	Serve        json.RawMessage `json:"serve,omitempty"`
+	Error        string          `json:"error,omitempty"`
 }
 
 // Summary is the -json report.
@@ -64,7 +80,9 @@ func main() {
 	size := flag.Int("size", 32, "workload size (fft points or random task count)")
 	timeoutMs := flag.Int("timeout-ms", 0, "per-request server-side deadline (0 = server default)")
 	jsonOut := flag.Bool("json", false, "print the summary as JSON")
+	outPath := flag.String("out", "", "write per-request JSONL records (server metrics + client latency) to this file")
 	flag.Parse()
+	keepBodies := *outPath != ""
 
 	body, err := requestBody(*dagKind, *size, *cluster, *strategy, *timeoutMs)
 	if err != nil {
@@ -96,7 +114,7 @@ func main() {
 				if ticker != nil {
 					<-ticker
 				}
-				results[i] = fire(client, *url, body)
+				results[i] = fire(client, *url, body, keepBodies)
 			}
 		}()
 	}
@@ -104,6 +122,12 @@ func main() {
 	elapsed := time.Since(start)
 
 	sum := summarize(results, elapsed)
+	if *outPath != "" {
+		if err := writeRows(*outPath, results); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: writing -out: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	if *jsonOut {
 		json.NewEncoder(os.Stdout).Encode(sum)
 	} else {
@@ -149,15 +173,52 @@ func requestBody(kind string, size int, cluster, strategy string, timeoutMs int)
 	return json.Marshal(req)
 }
 
-func fire(client *http.Client, url string, body []byte) result {
+func fire(client *http.Client, url string, body []byte, keepBody bool) result {
 	t0 := time.Now()
 	resp, err := client.Post(url+"/v1/schedule", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return result{err: err, latency: time.Since(t0)}
 	}
-	io.Copy(io.Discard, resp.Body)
+	var serve json.RawMessage
+	if keepBody {
+		// Pull the server-side metrics record out of the envelope; a body
+		// that fails to parse just leaves serve empty in the JSONL row.
+		blob, _ := io.ReadAll(resp.Body)
+		var env struct {
+			Serve json.RawMessage `json:"serve"`
+		}
+		if json.Unmarshal(blob, &env) == nil {
+			serve = env.Serve
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
 	resp.Body.Close()
-	return result{status: resp.StatusCode, latency: time.Since(t0)}
+	return result{status: resp.StatusCode, latency: time.Since(t0), serve: serve}
+}
+
+// writeRows emits one JSON line per request to path, in request order.
+func writeRows(path string, results []result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, r := range results {
+		rw := row{
+			ClientMs:     float64(r.latency) / float64(time.Millisecond),
+			ClientStatus: r.status,
+			Serve:        r.serve,
+		}
+		if r.err != nil {
+			rw.Error = r.err.Error()
+		}
+		if err := enc.Encode(rw); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }
 
 func summarize(results []result, elapsed time.Duration) Summary {

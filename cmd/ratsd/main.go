@@ -8,13 +8,17 @@
 // Usage:
 //
 //	ratsd [-addr :8080] [-max-batch 16] [-max-wait 2ms] [-max-queue 1024]
-//	      [-workers N] [-timeout 30s] [-log-level info]
+//	      [-workers N] [-timeout 30s] [-log-level info] [-pprof]
 //
 // Endpoints:
 //
 //	POST /v1/schedule  schedule one DAG; see internal/serve.ScheduleRequest
 //	GET  /healthz      liveness (503 while draining)
 //	GET  /metrics      counters, latency quantiles, recent request records
+//	                   (JSON by default; ?format=prometheus or an Accept
+//	                   header preferring text/plain selects the Prometheus
+//	                   text exposition)
+//	GET  /debug/pprof  live profiling, only with -pprof
 //
 // SIGINT/SIGTERM starts a graceful drain: intake stops with 503, every
 // already-accepted request is executed and answered, then the process
@@ -45,6 +49,7 @@ func main() {
 	mapWorkers := flag.Int("map-workers", 0, "default mapper evaluation lanes for requests without map_workers (0 = serial)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	pprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	var level slog.Level
@@ -63,8 +68,12 @@ func main() {
 		},
 		DefaultTimeout: *timeout,
 		MapWorkers:     *mapWorkers,
+		EnablePprof:    *pprof,
 		Log:            log,
 	})
+	if *pprof {
+		log.Info("pprof enabled", "path", "/debug/pprof/")
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -6,7 +6,14 @@
 //
 //	ratsim [-app KIND] [-n N] [-k K] [-width W] [-density D] [-regularity R]
 //	       [-jump J] [-seed S] [-cluster NAME] [-solver NAME] [-align NAME]
-//	       [-gantt] [-algo NAME] [-json]
+//	       [-gantt] [-algo NAME] [-json] [-counters]
+//
+// -counters prints the run's engine counter rates per algorithm (estimator
+// memo hits, candidate dedup skips, replay solver regimes). With -trace, a
+// second Chrome trace file per algorithm (<prefix>-<name>-sched.json)
+// records the scheduler's own execution — allocation grants, per-task
+// placements and pipeline phases — next to the simulated application
+// timeline.
 //
 // Examples:
 //
@@ -41,10 +48,11 @@ func main() {
 	alignName := flag.String("align", "hungarian", "receiver rank alignment: hungarian, greedy, none or auto")
 	asJSON := flag.Bool("json", false, "emit one JSON result per algorithm instead of text")
 	mapWorkers := flag.Int("map-workers", 1, "mapper candidate-evaluation lanes (results identical at any value)")
+	counters := flag.Bool("counters", false, "print engine counter rates per algorithm")
 	flag.Parse()
 
 	if err := run(*app, *n, *k, *width, *density, *regularity, *jump, *seed,
-		*clusterName, *solverName, *alignName, *gantt, *algoFilter, *traceOut, *asJSON, *mapWorkers); err != nil {
+		*clusterName, *solverName, *alignName, *gantt, *algoFilter, *traceOut, *asJSON, *mapWorkers, *counters); err != nil {
 		fmt.Fprintln(os.Stderr, "ratsim:", err)
 		os.Exit(1)
 	}
@@ -68,7 +76,7 @@ func buildDAG(app string, n, k int, width, density, regularity float64, jump int
 
 func run(app string, n, k int, width, density, regularity float64, jump int, seed int64,
 	clusterName, solverName, alignName string, gantt bool, algoFilter, traceOut string, asJSON bool,
-	mapWorkers int) error {
+	mapWorkers int, counters bool) error {
 	if mapWorkers < 1 {
 		return fmt.Errorf("-map-workers %d: want ≥ 1", mapWorkers)
 	}
@@ -126,6 +134,13 @@ func run(app string, n, k int, width, density, regularity float64, jump int, see
 		if mapWorkers > 1 {
 			opts = append(opts, rats.WithMapWorkers(mapWorkers))
 		}
+		// The self-tracer records the scheduler's own execution; it rides
+		// along only when the run writes trace files anyway.
+		var tracer *rats.Tracer
+		if traceOut != "" {
+			tracer = rats.NewTracer(0)
+			opts = append(opts, rats.WithObserver(tracer))
+		}
 		s := rats.New(opts...)
 		res, err := s.Schedule(d)
 		if err != nil {
@@ -146,6 +161,13 @@ func run(app string, n, k int, width, density, regularity float64, jump int, see
 			fmt.Printf("%-10s estimate %8.3f s, work %.1f proc·s, wire %.3g MB in %d flows\n",
 				"", res.Estimate, res.TotalWork, res.RemoteBytes/1e6, res.FlowCount)
 			fmt.Printf("%-10s %s\n", "", res.Stats())
+			if counters {
+				c := res.Counters
+				fmt.Printf("%-10s counters memo-hit %.1f%% (%d/%d), dedup-skip %.1f%%, scratch-solve %.1f%% (%d/%d), align e/g/c %d/%d/%d\n",
+					"", c.MemoHitPct(), c.MemoHits, c.MemoProbes, c.DedupSkipPct(),
+					c.ScratchSolvePct(), c.SolvesScratch, c.SolvesFull+c.SolvesIncremental+c.SolvesScratch,
+					c.AlignExact, c.AlignGreedy, c.AlignCapped)
+			}
 			if gantt {
 				fmt.Println(res.Gantt(100))
 			}
@@ -166,6 +188,22 @@ func run(app string, n, k int, width, density, regularity float64, jump int, see
 			if !asJSON {
 				fmt.Printf("%-10s trace written to %s\n", "", path)
 			}
+			schedPath := fmt.Sprintf("%s-%s-sched.json", traceOut, v.name)
+			sf, err := os.Create(schedPath)
+			if err != nil {
+				return err
+			}
+			if err := tracer.WriteChromeTrace(sf); err != nil {
+				sf.Close()
+				return err
+			}
+			if err := sf.Close(); err != nil {
+				return err
+			}
+			if !asJSON {
+				fmt.Printf("%-10s scheduler self-trace written to %s\n", "", schedPath)
+			}
+			tracer.Reset()
 		}
 		if !asJSON {
 			fmt.Println()

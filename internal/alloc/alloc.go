@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/moldable"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -49,6 +50,16 @@ type Options struct {
 	// (N'takpé & Suter's "self-constrained" allocations) and is part of
 	// our HCPA reconstruction; see docs/ARCHITECTURE.md, "Design reconstructions".
 	LevelCap bool
+
+	// Obs, when non-nil, receives the refinement loop's counters (grants,
+	// cone repairs, heap-repair strategy) added on top of its current
+	// values. The loop accumulates into locals and adds once at the end,
+	// so the hot path never writes through the pointer.
+	Obs *obs.Counters
+
+	// Tracer, when non-nil, records one span per refinement grant
+	// (category "alloc", Arg1 = granted task, Arg2 = repair cone size).
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions returns the configuration used throughout the evaluation:

@@ -287,6 +287,11 @@ func computeIncremental(g *dag.Graph, costs *moldable.Costs, cl *platform.Cluste
 	ph := newCandHeap(pathKey)
 	dfs := make([]int, 0, n)
 
+	// Observability: accumulate into locals and fold into opts.Obs once
+	// after the loop, so granting stays free of pointer indirection.
+	var nGrants, nRepairs, nConeTasks, nSifts, nHeapifies uint64
+	tracer := opts.Tracer
+
 	const rel = 1e-9
 	for {
 		// C∞ = max bottom level, attained at an entry task (see the file
@@ -339,7 +344,9 @@ func computeIncremental(g *dag.Graph, costs *moldable.Costs, cl *platform.Cluste
 			break // critical path saturated; no further benefit possible
 		}
 
+		spanStart := tracer.Begin()
 		allocs[best]++
+		nGrants++
 		if opts.Method == MCPA {
 			l := levelOf[best]
 			levelUse[l]++
@@ -361,6 +368,10 @@ func computeIncremental(g *dag.Graph, costs *moldable.Costs, cl *platform.Cluste
 		workOf[best] = tb.Work(best, allocs[best])
 		refoldWork(best)
 		changed := lt.SetTaskCost(best, newTime)
+		if len(changed) > 0 {
+			nRepairs++
+		}
+		nConeTasks += uint64(len(changed))
 		if len(changed)*8 > n {
 			// Large cone: one near-linear heapify beats per-entry sift
 			// cascades through the near-equal critical-path keys.
@@ -369,12 +380,22 @@ func computeIncremental(g *dag.Graph, costs *moldable.Costs, cl *platform.Cluste
 				ph.set(t, pathKey[t])
 			}
 			ph.heapify()
+			nHeapifies++
 		} else {
 			for _, t := range changed {
 				pathKey[t] = lt.TopLevel(t) + lt.BottomLevel(t)
 				ph.update(t, pathKey[t])
 			}
+			nSifts += uint64(len(changed))
 		}
+		tracer.End(spanStart, "alloc", "grant", int64(best), int64(len(changed)))
+	}
+	if opts.Obs != nil {
+		opts.Obs.AllocGrants += nGrants
+		opts.Obs.ConeRepairs += nRepairs
+		opts.Obs.ConeTasks += nConeTasks
+		opts.Obs.HeapSifts += nSifts
+		opts.Obs.BulkHeapifies += nHeapifies
 	}
 	return allocs
 }

@@ -52,6 +52,12 @@ type Estimator struct {
 	memoEnts []memoEntry
 	memoKeys []byte
 	keyBuf   []byte
+
+	// Memo effectiveness counters (plain stores; each estimator belongs
+	// to one evaluation lane). The mapper merges them into the schedule's
+	// obs.Counters snapshot at the end of a run.
+	memoProbes uint64
+	memoHits   uint64
 }
 
 // memoEntry is one memoized estimate: its key bytes in the arena, the
@@ -90,6 +96,8 @@ func (e *Estimator) Reset() {
 	clear(e.memoIdx)
 	e.memoEnts = e.memoEnts[:0]
 	e.memoKeys = e.memoKeys[:0]
+	e.memoProbes = 0
+	e.memoHits = 0
 }
 
 func (e *Estimator) ensureScratch() {
@@ -235,11 +243,13 @@ func (e *Estimator) EdgeRedistTime(edge int, bytes float64, senders, receivers [
 	for _, b := range key {
 		h = (h ^ uint64(b)) * 1099511628211
 	}
+	e.memoProbes++
 	head, ok := e.memoIdx[h]
 	if ok {
 		for i := head; i >= 0; i = e.memoEnts[i].next {
 			ent := &e.memoEnts[i]
 			if string(e.memoKeys[ent.keyOff:ent.keyOff+ent.keyLen]) == string(key) {
+				e.memoHits++
 				return ent.val
 			}
 		}

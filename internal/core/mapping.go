@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/moldable"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/platform"
 	"repro/internal/redist"
@@ -103,6 +104,12 @@ type Options struct {
 	// given the committed state, every worker owns its own scratch, and
 	// the reduction replays the serial comparison order (see parallel.go).
 	Workers int
+
+	// Tracer, when non-nil, records one span per task placement
+	// (category "map", Arg1 = task ID, Arg2 = candidate evaluations the
+	// placement cost across all lanes). Placement decisions are
+	// unaffected: the tracer observes, never steers.
+	Tracer *obs.Tracer
 
 	// disableDedup turns off the baseline-versus-reference candidate
 	// dedup in the serial engine (see baselinePlacementDedup). Test-only:
@@ -273,8 +280,18 @@ func (m *mapper) ensureWorkers(n int) {
 	for i := 0; i < n; i++ {
 		m.ws[i].est.Reset()
 		m.ws[i].nEval = 0
+		m.ws[i].alignScratch.ResetCounters()
 	}
 	m.nDedup = 0
+}
+
+// evalSum returns total evalOn calls across the first n lanes this run.
+func (m *mapper) evalSum(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += m.ws[i].nEval
+	}
+	return s
 }
 
 func (m *mapper) run() *Schedule {
@@ -357,7 +374,16 @@ func (m *mapper) run() *Schedule {
 		m.sortReady(ready)
 		for head := 0; head < len(ready); head++ {
 			t := ready[head]
+			var spanStart int64
+			var evalsBefore int
+			if tracer := m.opts.Tracer; tracer != nil {
+				spanStart = tracer.Begin()
+				evalsBefore = m.evalSum(workers)
+			}
 			claimedPred := m.place(t)
+			if tracer := m.opts.Tracer; tracer != nil {
+				tracer.End(spanStart, "map", "place", int64(t), int64(m.evalSum(workers)-evalsBefore))
+			}
 			m.mapped[t] = true
 			m.order = append(m.order, t)
 			remaining--
@@ -382,7 +408,33 @@ func (m *mapper) run() *Schedule {
 		EstFinish: m.finish,
 		TotalWork: m.totalWork(),
 	}
+	m.snapshotCounters(&sched.Counters, workers)
 	return sched
+}
+
+// snapshotCounters merges the run's lane-local counters — estimator memo,
+// evaluation counts, alignment solves, pool lane claims — into c. It runs
+// once per mapping run, after the last wave and before the pool closes,
+// so every lane is quiescent and plain reads are safe.
+func (m *mapper) snapshotCounters(c *obs.Counters, workers int) {
+	for i := 0; i < workers; i++ {
+		w := &m.ws[i]
+		c.MemoProbes += w.est.memoProbes
+		c.MemoHits += w.est.memoHits
+		c.CandEvals += uint64(w.nEval)
+		c.AlignExact += w.alignScratch.NExact
+		c.AlignGreedy += w.alignScratch.NGreedy
+		c.AlignCapped += w.alignScratch.NCapped
+	}
+	c.DedupSkips = uint64(m.nDedup)
+	if m.pool != nil {
+		for lane, claimed := range m.pool.LaneCounts() {
+			c.ParTasks += uint64(claimed)
+			if lane >= 1 {
+				c.ParSteals += uint64(claimed)
+			}
+		}
+	}
 }
 
 // growCleared returns a length-n all-false slice, reusing buf's storage

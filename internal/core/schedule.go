@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -50,6 +51,11 @@ type Schedule struct {
 	// TotalWork is Σ alloc(t)·T(t, alloc(t)) over real tasks — the resource
 	// consumption metric of Figures 3 and 7.
 	TotalWork float64
+	// Counters is the mapping run's observability snapshot (estimator
+	// memo effectiveness, candidate evaluations, alignment solves, pool
+	// lane activity). Pure diagnostics: two schedules are equal when the
+	// fields above are equal, whatever the counters say.
+	Counters obs.Counters
 }
 
 // EstMakespan returns the scheduler's own (contention-free) makespan

@@ -7,6 +7,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/core"
 	"repro/internal/moldable"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/platform"
 	"repro/internal/redist"
@@ -85,6 +86,11 @@ type RunResult struct {
 	Makespan float64 // simulated, contention-aware (seconds)
 	Work     float64 // Σ p·T(t,p) resource consumption (processor-seconds)
 	Estimate float64 // the scheduler's own contention-free estimate
+	// Counters is the run's engine observability snapshot: the mapping
+	// counters plus the replay's solver counters. Replays are memoized per
+	// schedule signature; a memo hit reuses the cached replay's counters
+	// (the replay is deterministic, so they are what a re-run would count).
+	Counters obs.Counters
 }
 
 // Runner executes scenarios in parallel with per-scenario reuse of the
@@ -136,7 +142,7 @@ func (r *Runner) Run(scens []Scenario, cl *platform.Cluster, algos []AlgoSpec) (
 		g := scens[i].Graph()
 		costs := moldable.NewCosts(g, cl.PlanSpeedGFlops())
 		allocation := alloc.Compute(g, costs, cl, r.AllocOptions)
-		cache := map[string]float64{} // schedule signature -> makespan
+		cache := map[string]replayMemo{} // schedule signature -> replay outcome
 		for a, spec := range algos {
 			taskAlloc := allocation
 			if spec.Alloc != nil {
@@ -151,21 +157,24 @@ func (r *Runner) Run(scens []Scenario, cl *platform.Cluster, algos []AlgoSpec) (
 			}
 			sched := core.Map(g, costs, cl, taskAlloc, mapOpts)
 			sig := scheduleSignature(sched)
-			makespan, hit := cache[sig]
+			memo, hit := cache[sig]
 			if !hit {
 				res, err := simdag.ExecuteOpts(g, costs, cl, sched, simdag.Options{Solver: r.Solver})
 				if err != nil {
 					errs[i] = fmt.Errorf("scenario %s / %s: %w", scens[i].Name(), spec.Name, err)
 					return
 				}
-				makespan = res.Makespan
-				cache[sig] = makespan
+				memo = replayMemo{makespan: res.Makespan, counters: res.Counters}
+				cache[sig] = memo
 			}
-			out[a][i] = RunResult{
-				Makespan: makespan,
+			rr := RunResult{
+				Makespan: memo.makespan,
 				Work:     sched.TotalWork,
 				Estimate: sched.EstMakespan(),
+				Counters: sched.Counters,
 			}
+			rr.Counters.Add(&memo.counters)
+			out[a][i] = rr
 		}
 	})
 	for _, err := range errs {
@@ -174,6 +183,12 @@ func (r *Runner) Run(scens []Scenario, cl *platform.Cluster, algos []AlgoSpec) (
 		}
 	}
 	return out, nil
+}
+
+// replayMemo caches one replay's outcome under its schedule signature.
+type replayMemo struct {
+	makespan float64
+	counters obs.Counters
 }
 
 // scheduleSignature serializes the replay-relevant parts of a schedule

@@ -139,6 +139,7 @@ type Net struct {
 	nolog bool
 
 	fullSolves, incrSolves, scratchSolves int
+	ckRestores, orphanLevels              int
 }
 
 // New creates a network over links with the given capacities (bytes/s).

@@ -207,6 +207,12 @@ func (n *Net) FullSolves() int        { return n.fullSolves }
 func (n *Net) IncrementalSolves() int { return n.incrSolves }
 func (n *Net) ScratchSolves() int     { return n.scratchSolves }
 
+// CheckpointRestores counts merge-replay solves that rewound the level log
+// to a stride checkpoint; OrphanedLevels counts old levels dropped because
+// their recorded bottleneck share went stale during the merge walk.
+func (n *Net) CheckpointRestores() int { return n.ckRestores }
+func (n *Net) OrphanedLevels() int     { return n.orphanLevels }
+
 // queuePending moves a live non-exempt entity into the pending set: it
 // must be (re)fixed this solve, by a merge-walk event or by the fill.
 // Capped entities also enter the pending-cap heap.
@@ -353,6 +359,7 @@ func (n *Net) mergeReplay() {
 	if ck >= n.nCk {
 		ck = n.nCk - 1
 	}
+	n.ckRestores++
 	ckR, ckW := n.ckRem[ck*nl:(ck+1)*nl], n.ckWcnt[ck*nl:(ck+1)*nl]
 	for _, l := range n.liveLinks {
 		n.rem[l], n.wcnt[l] = ckR[l], ckW[l]
@@ -484,6 +491,7 @@ func (n *Net) mergeReplay() {
 // its surviving entities join the pending set (their rate must be
 // re-derived) and their links the dirty set.
 func (n *Net) skipOldLevel(lv *level) {
+	n.orphanLevels++
 	end := int(lv.fixStart) + int(lv.nfix)
 	for fi := int(lv.fixStart); fi < end; fi++ {
 		f := &n.oldFixes[fi]

@@ -93,6 +93,10 @@ type Pool struct {
 	next    atomic.Int64
 	cmds    []chan struct{}
 	wg      sync.WaitGroup
+	// laneN[w] counts indices lane w claimed over the pool's lifetime.
+	// Each slot is written only by its own lane (single-writer, plain
+	// stores), so reading them is safe whenever no Run is in flight.
+	laneN []int64
 }
 
 // NewPool creates a pool of the given total width (the caller counts as
@@ -102,7 +106,7 @@ func NewPool(workers int) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &Pool{workers: workers, cmds: make([]chan struct{}, workers-1)}
+	p := &Pool{workers: workers, cmds: make([]chan struct{}, workers-1), laneN: make([]int64, workers)}
 	for i := range p.cmds {
 		ch := make(chan struct{}, 1)
 		p.cmds[i] = ch
@@ -153,8 +157,18 @@ func (p *Pool) work(worker int) {
 		if i >= p.n {
 			return
 		}
+		p.laneN[worker]++
 		p.fn(worker, int(i))
 	}
+}
+
+// LaneCounts returns how many indices each lane claimed over the pool's
+// lifetime (index 0 is the calling goroutine's lane). The returned slice
+// is a copy; call between Run invocations, not during one.
+func (p *Pool) LaneCounts() []int64 {
+	out := make([]int64, len(p.laneN))
+	copy(out, p.laneN)
+	return out
 }
 
 // Close releases the pool's goroutines. The pool must not be used after.

@@ -124,7 +124,19 @@ type AlignScratch struct {
 	taken  []bool // by receiver rank: slot already filled
 	cands  alignCands
 	asg    assign.Scratch
+
+	// Solve counters, accumulated across calls sharing this scratch and
+	// read by the mapper's observability snapshot: exact Hungarian solves,
+	// greedy solves, and the subset of greedy solves that were AlignAuto
+	// demotions past AlignAutoExactCap. Early exits (AlignNone, empty or
+	// disjoint receiver sets) don't count — nothing was solved.
+	NExact  uint64
+	NGreedy uint64
+	NCapped uint64
 }
+
+// ResetCounters zeroes the scratch's solve counters.
+func (sc *AlignScratch) ResetCounters() { sc.NExact, sc.NGreedy, sc.NCapped = 0, 0, 0 }
 
 // ensure sizes the id-indexed and rank-indexed slices. Entries of rank and
 // chosen are zero outside a call (the epilogue clears exactly the entries
@@ -164,11 +176,13 @@ func AlignReceiversInto(dst []int, total float64, senders, receivers []int, mode
 // scratch: with a non-nil sc the call allocates nothing beyond dst growth.
 // Passing a nil scratch uses a temporary one.
 func AlignReceiversScratch(dst []int, total float64, senders, receivers []int, mode AlignMode, sc *AlignScratch) []int {
+	capped := false
 	if mode == AlignAuto {
 		if len(receivers) <= AlignAutoExactCap {
 			mode = AlignHungarian
 		} else {
 			mode = AlignGreedy
+			capped = true
 		}
 	}
 	if mode == AlignNone || len(receivers) == 0 {
@@ -234,6 +248,7 @@ func AlignReceiversScratch(dst []int, total float64, senders, receivers []int, m
 
 	switch mode {
 	case AlignHungarian:
+		sc.NExact++
 		// Square q×q problem: rows are receiver slots; the first
 		// len(shared) rows are the shared processors, the rest are
 		// implicit all-zero rows the sparse solver never stores.
@@ -242,6 +257,10 @@ func AlignReceiversScratch(dst []int, total float64, senders, receivers []int, m
 			sc.chosen[pr] = int32(asg[si]) + 1
 		}
 	case AlignGreedy:
+		sc.NGreedy++
+		if capped {
+			sc.NCapped++
+		}
 		sc.cands.c = sc.cands.c[:0]
 		for si, pr := range sc.shared {
 			for k := sc.rowPtr[si]; k < sc.rowPtr[si+1]; k++ {

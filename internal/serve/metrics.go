@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // RequestMetrics is the flat per-request observability record: everything
@@ -27,17 +29,26 @@ type RequestMetrics struct {
 
 	Status int    `json:"status"`
 	Error  string `json:"error,omitempty"`
+
+	// Counters carries the run's engine-level observability snapshot
+	// (rats.Result.Counters): memo hit rates, solver regimes, alignment
+	// modes — per request, so offline analysis can correlate engine
+	// behavior with latency.
+	Counters obs.Counters `json:"counters"`
 }
 
 // ms converts a duration to the milliseconds the wire format carries.
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
-// histogram counts durations in exponential buckets: bucket i spans
-// [histBase·2^i, histBase·2^(i+1)). With histBase = 50µs the last bucket
-// starts at ≈ 28 minutes — far beyond any sane request deadline.
+// histogram counts durations in exponential buckets: bucket 0 spans
+// [0, histBase), bucket i ≥ 1 spans [histBase·2^(i-1), histBase·2^i), and
+// the last bucket is unbounded. With histBase = 50µs the last bucket
+// starts at ≈ 28 minutes — far beyond any sane request deadline. sum
+// accumulates the raw observations for the Prometheus _sum sample.
 type histogram struct {
 	counts [histBuckets]uint64
 	total  uint64
+	sum    time.Duration
 }
 
 const (
@@ -52,26 +63,41 @@ func (h *histogram) observe(d time.Duration) {
 	}
 	h.counts[i]++
 	h.total++
+	h.sum += d
 }
 
-// quantile returns the upper bound of the bucket holding the q-quantile
-// observation (a conservative estimate: true value ≤ the reported one),
-// or 0 with no observations.
+// quantile estimates the q-quantile observation by locating its bucket
+// and interpolating linearly within it (observations are assumed uniform
+// inside a bucket, the standard Prometheus histogram_quantile model).
+// The previous implementation returned the bucket's upper bound, which
+// overstated the quantile by up to the bucket's full width — a factor of
+// 2 with these doubling buckets; interpolation bounds the error by the
+// distance between the bucket's uniform model and the true in-bucket
+// distribution, which is at most one bucket width and typically far less.
+// The unbounded last bucket has no width to interpolate, so its lower
+// edge is returned. Returns 0 with no observations.
 func (h *histogram) quantile(q float64) time.Duration {
 	if h.total == 0 {
 		return 0
 	}
 	rank := uint64(q * float64(h.total-1))
 	var seen uint64
+	lo := time.Duration(0)
 	bound := histBase
-	for i := 0; i < histBuckets; i++ {
-		seen += h.counts[i]
-		if seen > rank {
-			return bound
+	for i := 0; i < histBuckets-1; i++ {
+		if cnt := h.counts[i]; seen+cnt > rank {
+			// rank falls in this bucket at 0-based in-bucket position
+			// rank−seen; +1 places single observations at the bucket's
+			// width-fraction rather than its lower edge.
+			pos := rank - seen
+			return lo + time.Duration(float64(bound-lo)*float64(pos+1)/float64(cnt))
+		} else {
+			seen += cnt
 		}
+		lo = bound
 		bound *= 2
 	}
-	return bound
+	return lo
 }
 
 // Collector aggregates per-request records into the service-level counters
@@ -90,6 +116,7 @@ type Collector struct {
 	batched   uint64 // items summed over batches (mean batch size = batched/batches)
 	latency   histogram
 	queueWait histogram
+	engine    obs.Counters // engine counters summed over recorded requests
 
 	recent [recentRing]RequestMetrics
 	nRec   int // total records ever written into the ring
@@ -140,6 +167,7 @@ func (c *Collector) Record(m RequestMetrics) {
 	}
 	c.latency.observe(time.Duration(m.TotalMs * float64(time.Millisecond)))
 	c.queueWait.observe(time.Duration(m.QueueWaitMs * float64(time.Millisecond)))
+	c.engine.Add(&m.Counters)
 	c.recent[c.nRec%recentRing] = m
 	c.nRec++
 	c.mu.Unlock()
@@ -165,6 +193,11 @@ type Snapshot struct {
 	QueueWaitP50Ms     float64 `json:"queue_wait_p50_ms"`
 	QueueWaitP99Ms     float64 `json:"queue_wait_p99_ms"`
 
+	// Engine sums the engine-level counters over every recorded request:
+	// the service-lifetime view of memo effectiveness, solver regimes and
+	// alignment decisions.
+	Engine obs.Counters `json:"engine"`
+
 	Recent []RequestMetrics `json:"recent"`
 }
 
@@ -186,6 +219,7 @@ func (c *Collector) Snapshot() Snapshot {
 		LatencyP99Ms:   ms(c.latency.quantile(0.99)),
 		QueueWaitP50Ms: ms(c.queueWait.quantile(0.50)),
 		QueueWaitP99Ms: ms(c.queueWait.quantile(0.99)),
+		Engine:         c.engine,
 	}
 	if c.batches > 0 {
 		s.MeanBatchSize = float64(c.batched) / float64(c.batches)

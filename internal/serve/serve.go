@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -239,6 +241,10 @@ type ServerConfig struct {
 	// parallel mapper is byte-identical to the serial one, so this knob
 	// only trades batch throughput against per-request latency.
 	MapWorkers int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (default
+	// off). Opt-in because profiles expose internals a scheduling service
+	// should not serve on an unrestricted port by default.
+	EnablePprof bool
 	// Log receives structured service logs (default slog.Default()).
 	Log *slog.Logger
 }
@@ -289,12 +295,22 @@ func (s *Server) Drain() {
 }
 
 // Handler returns the service's HTTP routes: POST /v1/schedule,
-// GET /healthz, GET /metrics.
+// GET /healthz, GET /metrics (JSON by default; Prometheus text with
+// ?format=prometheus or an Accept: text/plain header), and — when
+// ServerConfig.EnablePprof is set — the net/http/pprof profiles under
+// /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/schedule", s.handleSchedule)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -419,8 +435,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.metrics.Snapshot()
-	writeJSON(w, http.StatusOK, snap)
+	// Prometheus scrapers ask via ?format=prometheus or an explicit
+	// text/plain Accept; everything else (curl's */*, browsers, the JSON
+	// dashboard) keeps the established JSON document.
+	format := r.URL.Query().Get("format")
+	accept := r.Header.Get("Accept")
+	if format == "prometheus" || (format == "" && strings.HasPrefix(accept, "text/plain")) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.metrics.WritePrometheus(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
 }
 
 // runBatch executes one batch: all jobs share a batch key, hence an
@@ -463,6 +488,7 @@ func (s *Server) runBatch(batch []*job) {
 				m.AllocMs = ms(res.Phases.Alloc)
 				m.MapMs = ms(res.Phases.Map)
 				m.SimMs = ms(res.Phases.Sim)
+				m.Counters = res.Counters
 				m.TotalMs = ms(time.Since(j.enq))
 				s.metrics.Record(m)
 				s.log.Debug("scheduled",

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/flownet"
+	"repro/internal/obs"
 )
 
 // completionEps is the residual byte count below which a fluid flow is
@@ -51,6 +52,10 @@ type Engine struct {
 	seq       int64
 	pool      flowPool
 	batchPool []*flowBatch // recycled StartFlowBatch carriers
+
+	// Flow-batch counters (plain stores; the engine is single-threaded).
+	nBatches    uint64
+	nBatchFlows uint64
 }
 
 // flowPool owns the in-flight fluid flows: their rates, their residual
@@ -71,6 +76,8 @@ type flowPool interface {
 	// after now (+Inf when no flow is draining).
 	next(now float64) float64
 	advance(dt float64)
+	// stats adds the pool's solver counters into c.
+	stats(c *obs.Counters)
 }
 
 type timer struct {
@@ -201,6 +208,8 @@ func (e *Engine) StartFlowBatch(latency float64, specs []FlowSpec, done func()) 
 	if len(specs) == 0 {
 		return
 	}
+	e.nBatches++
+	e.nBatchFlows += uint64(len(specs))
 	var b *flowBatch
 	if k := len(e.batchPool); k > 0 {
 		b = e.batchPool[k-1]
@@ -245,6 +254,18 @@ func (b *flowBatch) run() {
 
 // ActiveFlows returns the number of in-flight fluid flows (post-latency).
 func (e *Engine) ActiveFlows() int { return e.pool.count() }
+
+// Counters snapshots the engine's replay counters: flow-batch sizes plus
+// the rate solver's regime counts (the flownet pool reports full /
+// incremental / scratch solves and level-log events; the reference
+// max-min pool reports every recompute as a full solve).
+func (e *Engine) Counters() obs.Counters {
+	var c obs.Counters
+	c.FlowBatches = e.nBatches
+	c.FlowBatchFlows = e.nBatchFlows
+	e.pool.stats(&c)
+	return c
+}
 
 // Run advances the simulation until no events remain. It returns the final
 // virtual time. Run panics if the simulation cannot make progress (a flow
@@ -306,7 +327,14 @@ func (p *netPool) start(links []int, rateCap, bytes float64, done func()) {
 	p.done[id] = done
 }
 
-func (p *netPool) count() int               { return p.net.Flows() }
+func (p *netPool) count() int { return p.net.Flows() }
+func (p *netPool) stats(c *obs.Counters) {
+	c.SolvesFull += uint64(p.net.FullSolves())
+	c.SolvesIncremental += uint64(p.net.IncrementalSolves())
+	c.SolvesScratch += uint64(p.net.ScratchSolves())
+	c.CkRestores += uint64(p.net.CheckpointRestores())
+	c.OrphanLevels += uint64(p.net.OrphanedLevels())
+}
 func (p *netPool) dirty() bool              { return p.net.Dirty() }
 func (p *netPool) recompute()               { p.net.Solve() }
 func (p *netPool) advance(dt float64)       { p.net.Advance(dt) }
@@ -336,6 +364,7 @@ type maxminPool struct {
 	linkCaps []float64
 	flows    []*flow
 	stale    bool // flow set changed; rates must be recomputed
+	solves   uint64
 
 	// Scratch buffers reused across rate recomputations.
 	solver     maxMinSolver
@@ -363,8 +392,11 @@ func (p *maxminPool) count() int { return len(p.flows) }
 
 func (p *maxminPool) dirty() bool { return p.stale }
 
+func (p *maxminPool) stats(c *obs.Counters) { c.SolvesFull += p.solves }
+
 // recompute re-solves the max-min rate allocation from scratch.
 func (p *maxminPool) recompute() {
+	p.solves++
 	n := len(p.flows)
 	if cap(p.scratchLnk) < n {
 		p.scratchLnk = make([][]int, n)

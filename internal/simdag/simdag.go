@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/moldable"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/redist"
 	"repro/internal/sim"
@@ -45,6 +46,10 @@ type Result struct {
 	LocalBytes  float64 // bytes kept on-node by redistributions
 	FlowCount   int     // point-to-point wire flows simulated
 	EdgeFinish  []float64
+
+	// Counters snapshots the replay engine's observability counters:
+	// flow-batch sizes and the rate solver's regime counts.
+	Counters obs.Counters
 }
 
 // Options configures a replay.
@@ -101,6 +106,7 @@ func ExecuteOpts(g *dag.Graph, costs *moldable.Costs, cl *platform.Cluster, s *c
 		}
 	}
 	eng.Run()
+	res.Counters = eng.Counters()
 
 	if rp.nFinished != n {
 		return nil, fmt.Errorf("simdag: replay stalled with %d/%d tasks finished", rp.nFinished, n)

@@ -15,8 +15,11 @@ import (
 	"fmt"
 	"io"
 
+	"math/bits"
+
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/redist"
 	"repro/internal/simdag"
 )
 
@@ -44,9 +47,15 @@ type Stats struct {
 }
 
 // Compute derives Stats from a schedule and its replay result.
+//
+// The used-processor set lives in a stack bitset sized like the redist
+// comparison sets (processor ids below redist.BitsetMaxP, which covers
+// every cluster preset); a map takes over only past that bound, keeping
+// the common path allocation-free.
 func Compute(g *dag.Graph, s *core.Schedule, r *simdag.Result) Stats {
 	st := Stats{Makespan: r.Makespan}
-	used := map[int]bool{}
+	var bset [redist.BitsetMaxP / 64]uint64
+	var overflow map[int]bool
 	for t := range g.Tasks {
 		if g.Tasks[t].Virtual {
 			continue
@@ -54,10 +63,20 @@ func Compute(g *dag.Graph, s *core.Schedule, r *simdag.Result) Stats {
 		dur := r.Finish[t] - r.Start[t]
 		st.BusyTime += dur * float64(len(s.Procs[t]))
 		for _, p := range s.Procs[t] {
-			used[p] = true
+			if uint(p) < redist.BitsetMaxP {
+				bset[p>>6] |= 1 << (uint(p) & 63)
+			} else {
+				if overflow == nil {
+					overflow = map[int]bool{}
+				}
+				overflow[p] = true
+			}
 		}
 	}
-	st.PUsed = len(used)
+	for _, w := range bset {
+		st.PUsed += bits.OnesCount64(w)
+	}
+	st.PUsed += len(overflow)
 	if st.PUsed > 0 && st.Makespan > 0 {
 		st.Utilization = st.BusyTime / (float64(st.PUsed) * st.Makespan)
 	}

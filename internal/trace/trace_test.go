@@ -12,6 +12,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/moldable"
 	"repro/internal/platform"
+	"repro/internal/redist"
 	"repro/internal/simdag"
 )
 
@@ -125,5 +126,43 @@ func TestStatsEmptySchedule(t *testing.T) {
 	st := Compute(g, s, r)
 	if st.BusyTime != 0 || st.PUsed != 0 || st.Utilization != 0 {
 		t.Errorf("virtual-only stats should be zero: %+v", st)
+	}
+}
+
+// TestComputeNoAllocs guards the stack-bitset used-processor set: for
+// clusters under redist.BitsetMaxP processors (all presets), Compute must
+// not allocate.
+func TestComputeNoAllocs(t *testing.T) {
+	g, s, r := replayFFT(t, core.StrategyTimeCost)
+	if avg := testing.AllocsPerRun(20, func() { Compute(g, s, r) }); avg != 0 {
+		t.Errorf("Compute allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// TestComputeOverflowProcessors exercises the map fallback for processor
+// ids at or above the bitset bound: PUsed must still count them.
+func TestComputeOverflowProcessors(t *testing.T) {
+	g, s, r := replayFFT(t, core.StrategyTimeCost)
+	// Relabel one task's processors past the bitset bound; Stats only
+	// reads set cardinality, so the replay result stays valid.
+	sc := *s
+	sc.Procs = append([][]int(nil), s.Procs...)
+	for t2 := range sc.Procs {
+		if len(sc.Procs[t2]) > 0 {
+			shifted := make([]int, len(sc.Procs[t2]))
+			for i, p := range sc.Procs[t2] {
+				shifted[i] = p + redist.BitsetMaxP
+			}
+			sc.Procs[t2] = shifted
+			break
+		}
+	}
+	want := Compute(g, s, r).PUsed
+	got := Compute(g, &sc, r).PUsed
+	// The shifted ids are distinct from every in-range id, so the count
+	// can only grow (the shifted task's former processors may also be
+	// used by other tasks, keeping them counted).
+	if got < want {
+		t.Errorf("PUsed with overflow ids = %d, want >= %d", got, want)
 	}
 }

@@ -47,6 +47,16 @@ type Result struct {
 	// Phases holds the wall-clock phase timings of this run.
 	Phases Phases
 
+	// Counters aggregates the run's engine-level observability counters
+	// across all three phases (allocation refinement, mapping, replay).
+	// Diagnostics only: never an input to any scheduling decision. Like
+	// Phases, counters are measurements, not part of the versioned wire
+	// format — lane scheduling makes memo and steal counts vary run to
+	// run under parallel mapping, and the wire document is guaranteed
+	// byte-identical at every worker count. The service layer carries
+	// them per request in its own envelope (serve.RequestMetrics).
+	Counters Counters
+
 	Makespan    float64 // simulated, contention-aware makespan, seconds
 	Estimate    float64 // the mapping engine's own contention-free estimate
 	TotalWork   float64 // Σ p·T(t, p) resource consumption, processor-seconds

@@ -254,15 +254,25 @@ func (s *Scheduler) run(d *DAG, sc *Context) (*Result, error) {
 	// of their concrete processor set.
 	costs := moldable.NewCosts(g, cl.PlanSpeedGFlops())
 
+	tracer := s.mapOpts.Tracer
+	spanStart := tracer.Begin()
 	allocation, err := s.allocationFor(d)
 	if err != nil {
 		return nil, err
 	}
+	// Alloc counters land in a per-run copy of the options: the Scheduler
+	// itself stays immutable, so concurrent ScheduleAll runs never share a
+	// counter sink.
+	var allocCnt Counters
 	if allocation == nil {
-		allocation = alloc.Compute(g, costs, cl, s.allocOpts)
+		ao := s.allocOpts
+		ao.Obs = &allocCnt
+		allocation = alloc.Compute(g, costs, cl, ao)
 	}
 	tAlloc := time.Now()
+	tracer.End(spanStart, "rats", "alloc", int64(g.N()), 0)
 
+	spanStart = tracer.Begin()
 	var sched *core.Schedule
 	if sc != nil {
 		sched = sc.mc.Map(g, costs, allocation, s.mapOpts)
@@ -270,17 +280,25 @@ func (s *Scheduler) run(d *DAG, sc *Context) (*Result, error) {
 		sched = core.Map(g, costs, cl, allocation, s.mapOpts)
 	}
 	tMap := time.Now()
+	tracer.End(spanStart, "rats", "map", int64(g.N()), 0)
+
+	spanStart = tracer.Begin()
 	sim, err := simdag.ExecuteOpts(g, costs, cl, sched, s.simOpts)
 	if err != nil {
 		return nil, fmt.Errorf("rats: %s on %s: %w", d.Name, cl.Name, err)
 	}
 	tSim := time.Now()
+	tracer.End(spanStart, "rats", "sim", int64(g.N()), int64(sim.FlowCount))
+
 	r := newResult(d, s, sched, sim)
 	r.Phases = Phases{
 		Alloc: tAlloc.Sub(t0),
 		Map:   tMap.Sub(tAlloc),
 		Sim:   tSim.Sub(tMap),
 	}
+	r.Counters = allocCnt
+	r.Counters.Add(&sched.Counters)
+	r.Counters.Add(&sim.Counters)
 	return r, nil
 }
 
