@@ -508,13 +508,23 @@ func mapParSpeedups(ms []Measurement) map[string]float64 {
 	return out
 }
 
-// mapCluster extracts the cluster of a BenchmarkMap/<cluster>/w=<w> name.
+// mapCluster extracts the aggregation key of a BenchmarkMap sub-benchmark.
+// Reference-profile rows (BenchmarkMap/<cluster>/w=<w>) keep the bare
+// cluster key so the trajectory stays comparable with entries recorded
+// before the speed profiles existed; fast-profile rows
+// (BenchmarkMap/<cluster>/w=<w>/fast) aggregate under "<cluster>/fast".
 func mapCluster(name string) (string, bool) {
 	parts := strings.Split(name, "/")
-	if len(parts) != 3 || parts[0] != "BenchmarkMap" {
+	if parts[0] != "BenchmarkMap" {
 		return "", false
 	}
-	return parts[1], true
+	switch {
+	case len(parts) == 3:
+		return parts[1], true
+	case len(parts) == 4 && parts[3] == "fast":
+		return parts[1] + "/fast", true
+	}
+	return "", false
 }
 
 // appendEntry reads the existing trajectory (if any), appends the entry

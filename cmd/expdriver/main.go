@@ -5,7 +5,17 @@
 // Usage:
 //
 //	expdriver [-stride N] [-workers N] [-out DIR] [-only LIST] [-solver NAME]
-//	          [-align NAME] [-counters]
+//	          [-align NAME] [-profile NAME] [-counters]
+//	          [-ablate [-smoke] [-o FILE]]
+//
+// -ablate switches to the exactness-renegotiation ablation (package
+// internal/ablate): every scenario class under all strategy × allocator
+// combinations, swept across the approximation knobs (alignment mode and
+// AlignAuto cap, estimator memo staleness bound, flownet scratch
+// threshold), reporting per-configuration makespan deltas, mapping
+// latency percentiles and engine counter rates. The machine-readable
+// report lands at -o (default <out>/ablation.json); -smoke shrinks the
+// sweep to the CI-sized reference-versus-fast check.
 //
 // -counters switches to a diagnostics report instead of the paper
 // experiments: it runs the three naive-parameter algorithms over the
@@ -36,6 +46,12 @@
 // from-scratch maxmin reference for cross-checking. -align overrides the
 // receiver rank-order alignment of every algorithm (§II-A ablation):
 // hungarian (exact), greedy, none, or auto (size-capped exact).
+//
+// -profile selects the speed profile: "fast" (the default — size-capped
+// auto alignment plus the raised scratch-solve threshold, vetted by the
+// -ablate sweep to stay within 0.5% of the exact makespans) or
+// "reference" (the exact pipeline the golden figures are pinned
+// against). An explicit -align wins over the profile's alignment mode.
 package main
 
 import (
@@ -47,6 +63,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/ablate"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/metrics"
@@ -63,18 +80,60 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment subset (default: all)")
 	solver := flag.String("solver", "flownet", "replay rate solver: flownet (incremental) or maxmin (reference)")
 	align := flag.String("align", "", "override receiver rank alignment for every algorithm: hungarian, greedy, none or auto (default: per-algorithm)")
+	profile := flag.String("profile", "fast", "speed profile: fast (capped-exact alignment, ablation-vetted) or reference (exact pipeline)")
 	cluster := flag.String("cluster", "grillon",
 		"cluster preset for the single-cluster experiments: "+strings.Join(platform.Names(), ", "))
 	counters := flag.Bool("counters", false, "report engine counter rates per scenario class instead of the paper experiments")
+	ablateMode := flag.Bool("ablate", false, "run the exactness-renegotiation ablation (internal/ablate) instead of the paper experiments")
+	smoke := flag.Bool("smoke", false, "with -ablate: the CI-sized subset (two paper-scale classes, reference vs fast only)")
+	report := flag.String("o", "", "with -ablate: report path (default <out>/ablation.json)")
 	flag.Parse()
 
-	if err := run(*stride, *workers, *mapWorkers, *outDir, *only, *solver, *align, *cluster, *counters); err != nil {
+	if *ablateMode {
+		if err := runAblation(*smoke, *outDir, *report); err != nil {
+			fmt.Fprintln(os.Stderr, "expdriver:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*stride, *workers, *mapWorkers, *outDir, *only, *solver, *align, *profile, *cluster, *counters); err != nil {
 		fmt.Fprintln(os.Stderr, "expdriver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(stride, workers, mapWorkers int, outDir, only, solver, align, cluster string, counters bool) error {
+// runAblation executes the knob sweep and writes the machine-readable
+// report plus the human summary.
+func runAblation(smoke bool, outDir, reportPath string) error {
+	if reportPath == "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		reportPath = filepath.Join(outDir, "ablation.json")
+	}
+	start := time.Now()
+	rep, err := ablate.Run(ablate.Options{Smoke: smoke, Log: os.Stderr})
+	if err != nil {
+		return err
+	}
+	rep.WriteSummary(os.Stdout)
+	f, err := os.Create(reportPath)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stdout, "-- ablation (%s) done in %v, report: %s --\n",
+		rep.Mode, time.Since(start).Round(time.Millisecond), reportPath)
+	return nil
+}
+
+func run(stride, workers, mapWorkers int, outDir, only, solver, align, profile, cluster string, counters bool) error {
 	want := map[string]bool{}
 	for _, s := range strings.Split(only, ",") {
 		if s = strings.TrimSpace(s); s != "" {
@@ -98,6 +157,13 @@ func run(stride, workers, mapWorkers int, outDir, only, solver, align, cluster s
 		runner.Solver = core.FlowSolverMaxMin
 	default:
 		return fmt.Errorf("unknown -solver %q (want flownet or maxmin)", solver)
+	}
+	switch profile {
+	case "", "fast":
+		runner.Fast = true
+	case "reference":
+	default:
+		return fmt.Errorf("unknown -profile %q (want fast or reference)", profile)
 	}
 	if align != "" {
 		mode, err := redist.ParseAlignMode(align)

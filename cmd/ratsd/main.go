@@ -8,7 +8,12 @@
 // Usage:
 //
 //	ratsd [-addr :8080] [-max-batch 16] [-max-wait 2ms] [-max-queue 1024]
-//	      [-workers N] [-timeout 30s] [-log-level info] [-pprof]
+//	      [-workers N] [-timeout 30s] [-profile fast] [-log-level info]
+//	      [-pprof]
+//
+// -profile sets the default speed profile ("fast" or "reference") for
+// requests that do not carry their own "profile" field; per-request
+// values always win.
 //
 // Endpoints:
 //
@@ -38,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/rats"
 )
 
 func main() {
@@ -48,6 +54,7 @@ func main() {
 	workers := flag.Int("workers", 0, "batch executor goroutines (0 = GOMAXPROCS)")
 	mapWorkers := flag.Int("map-workers", 0, "default mapper evaluation lanes for requests without map_workers (0 = serial)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	profileName := flag.String("profile", "fast", "default speed profile for requests without one: fast or reference")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	pprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
@@ -59,6 +66,12 @@ func main() {
 	}
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	profile, err := rats.ParseProfile(*profileName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ratsd: bad -profile: %v\n", err)
+		os.Exit(2)
+	}
+
 	srv := serve.NewServer(serve.ServerConfig{
 		Batch: serve.Config{
 			MaxBatch: *maxBatch,
@@ -68,6 +81,7 @@ func main() {
 		},
 		DefaultTimeout: *timeout,
 		MapWorkers:     *mapWorkers,
+		Profile:        profile,
 		EnablePprof:    *pprof,
 		Log:            log,
 	})

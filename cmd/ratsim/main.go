@@ -5,8 +5,12 @@
 // Usage:
 //
 //	ratsim [-app KIND] [-n N] [-k K] [-width W] [-density D] [-regularity R]
-//	       [-jump J] [-seed S] [-cluster NAME] [-solver NAME] [-align NAME]
-//	       [-gantt] [-algo NAME] [-json] [-counters]
+//	       [-jump J] [-seed S] [-cluster NAME] [-solver NAME] [-profile NAME]
+//	       [-align NAME] [-gantt] [-algo NAME] [-json] [-counters]
+//
+// -profile picks the speed profile ("fast", the default, or "reference"
+// for the exact pipeline); -align, when given, overrides the profile's
+// alignment mode.
 //
 // -counters prints the run's engine counter rates per algorithm (estimator
 // memo hits, candidate dedup skips, replay solver regimes). With -trace, a
@@ -45,14 +49,15 @@ func main() {
 	algoFilter := flag.String("algo", "", "run only one algorithm: hcpa, delta, time-cost")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file per algorithm (prefix)")
 	solverName := flag.String("solver", "flownet", "replay rate solver: flownet (incremental) or maxmin (reference)")
-	alignName := flag.String("align", "hungarian", "receiver rank alignment: hungarian, greedy, none or auto")
+	alignName := flag.String("align", "", "receiver rank alignment: hungarian, greedy, none or auto (default: the profile's choice)")
+	profileName := flag.String("profile", "fast", "speed profile: fast or reference")
 	asJSON := flag.Bool("json", false, "emit one JSON result per algorithm instead of text")
 	mapWorkers := flag.Int("map-workers", 1, "mapper candidate-evaluation lanes (results identical at any value)")
 	counters := flag.Bool("counters", false, "print engine counter rates per algorithm")
 	flag.Parse()
 
 	if err := run(*app, *n, *k, *width, *density, *regularity, *jump, *seed,
-		*clusterName, *solverName, *alignName, *gantt, *algoFilter, *traceOut, *asJSON, *mapWorkers, *counters); err != nil {
+		*clusterName, *solverName, *alignName, *profileName, *gantt, *algoFilter, *traceOut, *asJSON, *mapWorkers, *counters); err != nil {
 		fmt.Fprintln(os.Stderr, "ratsim:", err)
 		os.Exit(1)
 	}
@@ -75,7 +80,7 @@ func buildDAG(app string, n, k int, width, density, regularity float64, jump int
 }
 
 func run(app string, n, k int, width, density, regularity float64, jump int, seed int64,
-	clusterName, solverName, alignName string, gantt bool, algoFilter, traceOut string, asJSON bool,
+	clusterName, solverName, alignName, profileName string, gantt bool, algoFilter, traceOut string, asJSON bool,
 	mapWorkers int, counters bool) error {
 	if mapWorkers < 1 {
 		return fmt.Errorf("-map-workers %d: want ≥ 1", mapWorkers)
@@ -88,9 +93,15 @@ func run(app string, n, k int, width, density, regularity float64, jump int, see
 	if err != nil {
 		return err
 	}
-	align, err := rats.ParseAlignment(alignName)
+	profile, err := rats.ParseProfile(profileName)
 	if err != nil {
 		return err
+	}
+	var align rats.AlignmentMode
+	if alignName != "" {
+		if align, err = rats.ParseAlignment(alignName); err != nil {
+			return err
+		}
 	}
 	// One DAG for the whole run: finalized here, read-only for every
 	// algorithm afterwards.
@@ -130,7 +141,10 @@ func run(app string, n, k int, width, density, regularity float64, jump int, see
 			continue
 		}
 		opts := []rats.Option{rats.WithCluster(cl), rats.WithStrategy(v.strategy),
-			rats.WithFlowSolver(solver), rats.WithAlignment(align)}
+			rats.WithFlowSolver(solver), rats.WithProfile(profile)}
+		if alignName != "" {
+			opts = append(opts, rats.WithAlignment(align))
+		}
 		if mapWorkers > 1 {
 			opts = append(opts, rats.WithMapWorkers(mapWorkers))
 		}

@@ -21,17 +21,41 @@ import (
 type Estimator struct {
 	cl *platform.Cluster
 
+	// MemoEps, when positive, lets EdgeRedistTime reuse a memo entry whose
+	// receiver rank order differs from the probe's in at most ⌊ε·q⌋
+	// positions (same length q). Receiver orders are availability-ordered,
+	// so the position-diff fraction measures how far the availability
+	// inputs moved since the entry was computed; stale reuses are counted
+	// separately (obs "memo_stale_hits") and only ever copy values from
+	// freshly computed entries, so the approximation error never compounds
+	// across chains of reuses. Zero (the default) keeps exact keying.
+	MemoEps float64
+
 	// Homogeneous per-pair figures, precomputed once: on these clusters the
 	// empirical bandwidth β' and the route latency only depend on whether
 	// the two nodes share a cabinet.
 	latIntra, latCross float64
 	bwIntra, bwCross   float64
 
-	// hetLinks switches RedistTime to per-pair route queries and per-node
-	// link capacities: with bandwidth/latency overrides present the
-	// two-figure classification above no longer holds. False on uniform
-	// clusters, which keep the precomputed figures.
+	// hetLinks switches RedistTime to per-pair route figures built from the
+	// id-indexed link caches below: with bandwidth/latency overrides
+	// present the two-figure classification above no longer holds. False on
+	// uniform clusters, which keep the precomputed figures.
 	hetLinks bool
+
+	// Id-indexed link-figure caches, built once per estimator when
+	// hetLinks: per-node up/down capacities and latencies plus per-cabinet
+	// uplink figures. RedistTime recombines them with exactly the branch
+	// structure of platform.EffectiveBandwidth/RouteLatency (min chain in
+	// the same visit order, latencies summed pairwise), so the cached path
+	// is bit-identical to the per-pair map lookups it replaces — which were
+	// ~2× of the hetero mapping phase's cost (O(blocks) map probes per
+	// candidate evaluation).
+	bwOverride, latOverride bool
+	upCap, downCap          []float64 // by node id
+	cabUpCap, cabDownCap    []float64 // by cabinet
+	upLat, downLat          []float64 // by node id
+	cabUpLat, cabDownLat    []float64 // by cabinet
 
 	// Scratch reused across RedistTime calls, indexed by processor ID and
 	// allocated lazily on first use. Entries are zeroed again before each
@@ -53,11 +77,18 @@ type Estimator struct {
 	memoKeys []byte
 	keyBuf   []byte
 
+	// lastByEdge tracks, per edge, the most recent memo entry whose value
+	// was freshly computed (not itself a stale reuse) — the one candidate
+	// the MemoEps staleness check compares a missing probe against.
+	// Only maintained when MemoEps > 0.
+	lastByEdge map[int]int32
+
 	// Memo effectiveness counters (plain stores; each estimator belongs
 	// to one evaluation lane). The mapper merges them into the schedule's
 	// obs.Counters snapshot at the end of a run.
 	memoProbes uint64
 	memoHits   uint64
+	memoStale  uint64
 }
 
 // memoEntry is one memoized estimate: its key bytes in the arena, the
@@ -83,7 +114,80 @@ func NewEstimator(cl *platform.Cluster) *Estimator {
 			e.bwCross = cl.EffectiveBandwidth(0, cl.CabinetSize)
 		}
 	}
+	if e.hetLinks {
+		e.bwOverride = len(cl.LinkBandwidths) > 0
+		e.latOverride = len(cl.LinkLatencies) > 0
+		e.upCap = make([]float64, cl.P)
+		e.downCap = make([]float64, cl.P)
+		e.upLat = make([]float64, cl.P)
+		e.downLat = make([]float64, cl.P)
+		for i := 0; i < cl.P; i++ {
+			e.upCap[i] = cl.LinkCapacity(cl.NodeUpLink(i))
+			e.downCap[i] = cl.LinkCapacity(cl.NodeDownLink(i))
+			e.upLat[i] = cl.LinkDelay(cl.NodeUpLink(i))
+			e.downLat[i] = cl.LinkDelay(cl.NodeDownLink(i))
+		}
+		if cl.Hierarchical() {
+			cabs := cl.Cabinets()
+			e.cabUpCap = make([]float64, cabs)
+			e.cabDownCap = make([]float64, cabs)
+			e.cabUpLat = make([]float64, cabs)
+			e.cabDownLat = make([]float64, cabs)
+			for c := 0; c < cabs; c++ {
+				e.cabUpCap[c] = cl.LinkCapacity(cl.CabUpLink(c))
+				e.cabDownCap[c] = cl.LinkCapacity(cl.CabDownLink(c))
+				e.cabUpLat[c] = cl.LinkDelay(cl.CabUpLink(c))
+				e.cabDownLat[c] = cl.LinkDelay(cl.CabDownLink(c))
+			}
+		}
+	}
 	return e
+}
+
+// hetFigures returns the empirical per-flow bandwidth β' and the one-way
+// route latency between two distinct nodes from the id-indexed caches,
+// replicating platform.EffectiveBandwidth/RouteLatency branch for branch
+// (same min-chain visit order, same pairwise latency sums, same WMax cap
+// comparison) so the results are bit-identical to the map-consulting
+// queries.
+func (e *Estimator) hetFigures(src, dst int) (bw, lat float64) {
+	cl := e.cl
+	cross := cl.CabinetSize > 0 && src/cl.CabinetSize != dst/cl.CabinetSize
+	if e.latOverride {
+		lat = e.upLat[src] + e.downLat[dst]
+		if cross {
+			lat += e.cabUpLat[src/cl.CabinetSize] + e.cabDownLat[dst/cl.CabinetSize]
+		}
+	} else if cross {
+		lat = 2*cl.LinkLatency + 2*cl.UplinkLatency
+	} else {
+		lat = 2 * cl.LinkLatency
+	}
+	if e.bwOverride {
+		bw = e.upCap[src]
+		if v := e.downCap[dst]; v < bw {
+			bw = v
+		}
+		if cross {
+			if v := e.cabUpCap[src/cl.CabinetSize]; v < bw {
+				bw = v
+			}
+			if v := e.cabDownCap[dst/cl.CabinetSize]; v < bw {
+				bw = v
+			}
+		}
+	} else {
+		bw = cl.LinkBandwidth
+		if cross && cl.UplinkBandwidth < bw {
+			bw = cl.UplinkBandwidth
+		}
+	}
+	if rtt := 2 * lat; rtt > 0 {
+		if c := cl.WMax / rtt; c < bw {
+			bw = c
+		}
+	}
+	return bw, lat
 }
 
 // Reset discards the per-run EdgeRedistTime memo while keeping every
@@ -94,10 +198,12 @@ func NewEstimator(cl *platform.Cluster) *Estimator {
 // graph to graph — so a pooled context must call Reset between runs.
 func (e *Estimator) Reset() {
 	clear(e.memoIdx)
+	clear(e.lastByEdge)
 	e.memoEnts = e.memoEnts[:0]
 	e.memoKeys = e.memoKeys[:0]
 	e.memoProbes = 0
 	e.memoHits = 0
+	e.memoStale = 0
 }
 
 func (e *Estimator) ensureScratch() {
@@ -176,8 +282,7 @@ func (e *Estimator) RedistTime(bytes float64, senders, receivers []int) float64 
 		in[dst] += v
 		var bw, lat float64
 		if e.hetLinks {
-			bw = e.cl.EffectiveBandwidth(src, dst)
-			lat = e.cl.RouteLatency(src, dst)
+			bw, lat = e.hetFigures(src, dst)
 		} else if hier && src/cabSize != dst/cabSize {
 			bw, lat = e.bwCross, e.latCross
 		} else {
@@ -196,7 +301,7 @@ func (e *Estimator) RedistTime(bytes float64, senders, receivers []int) float64 
 	beta := e.cl.LinkBandwidth
 	for _, s := range senders {
 		if e.hetLinks {
-			beta = e.cl.LinkCapacity(e.cl.NodeUpLink(s))
+			beta = e.upCap[s]
 		}
 		if v := out[s] / beta; v > t {
 			t = v
@@ -205,7 +310,7 @@ func (e *Estimator) RedistTime(bytes float64, senders, receivers []int) float64 
 	}
 	for _, r := range receivers {
 		if e.hetLinks {
-			beta = e.cl.LinkCapacity(e.cl.NodeDownLink(r))
+			beta = e.downCap[r]
 		}
 		if v := in[r] / beta; v > t {
 			t = v
@@ -256,12 +361,69 @@ func (e *Estimator) EdgeRedistTime(edge int, bytes float64, senders, receivers [
 	} else {
 		head = -1
 	}
-	v := e.RedistTime(bytes, senders, receivers)
+	v, stale := 0.0, false
+	if e.MemoEps > 0 {
+		v, stale = e.staleNeighbor(edge, receivers)
+	}
+	if stale {
+		e.memoStale++
+	} else {
+		v = e.RedistTime(bytes, senders, receivers)
+	}
 	off := int32(len(e.memoKeys))
 	e.memoKeys = append(e.memoKeys, key...)
 	e.memoEnts = append(e.memoEnts, memoEntry{keyOff: off, keyLen: int32(len(key)), next: head, val: v})
 	e.memoIdx[h] = int32(len(e.memoEnts) - 1)
+	if e.MemoEps > 0 && !stale {
+		// Only freshly computed entries anchor future staleness checks, so
+		// a chain of reuses can never wander more than ε from a real
+		// estimate. The probe key is still inserted above either way:
+		// identical future probes become exact hits.
+		if e.lastByEdge == nil {
+			e.lastByEdge = make(map[int]int32, 64)
+		}
+		e.lastByEdge[edge] = int32(len(e.memoEnts) - 1)
+	}
 	return v
+}
+
+// staleNeighbor checks whether the edge's last freshly computed memo entry
+// has a receiver rank order close enough to the probe's — same length q,
+// at most ⌊MemoEps·q⌋ differing positions — to reuse its estimate. Receiver
+// orders are availability-ordered prefixes of the cluster, so the
+// position-diff fraction is a direct measure of how far the availability
+// inputs moved since the entry was computed.
+func (e *Estimator) staleNeighbor(edge int, receivers []int) (float64, bool) {
+	idx, ok := e.lastByEdge[edge]
+	if !ok {
+		return 0, false
+	}
+	q := len(receivers)
+	maxDiff := int(e.MemoEps * float64(q))
+	if maxDiff <= 0 {
+		return 0, false
+	}
+	ent := &e.memoEnts[idx]
+	key := e.memoKeys[ent.keyOff : ent.keyOff+ent.keyLen]
+	_, n := binary.Uvarint(key) // skip the edge id
+	key = key[n:]
+	diff := 0
+	for i := 0; i < q; i++ {
+		r, n := binary.Uvarint(key)
+		if n <= 0 {
+			return 0, false // stored order is shorter: different q
+		}
+		key = key[n:]
+		if int(r) != receivers[i] {
+			if diff++; diff > maxDiff {
+				return 0, false
+			}
+		}
+	}
+	if len(key) != 0 {
+		return 0, false // stored order is longer: different q
+	}
+	return ent.val, true
 }
 
 // EdgeTimeSimple is the coarse per-edge communication estimate used inside

@@ -152,3 +152,118 @@ func TestEdgeRedistTimeMemo(t *testing.T) {
 		t.Errorf("edge 8 estimate %g, want %g", got, a1)
 	}
 }
+
+// TestHetFiguresMatchPlatform pins the satellite fix for the hetero Map
+// regression: the estimator's id-indexed link-figure caches must reproduce
+// platform.EffectiveBandwidth/RouteLatency bit-exactly for every node pair
+// — including clusters that override latencies, which the het presets do
+// not.
+func TestHetFiguresMatchPlatform(t *testing.T) {
+	latHet := platform.GrelonHet()
+	latHet.Name = "grelon-het-lat"
+	latHet.LinkLatencies = map[platform.LinkID]float64{
+		latHet.NodeUpLink(7):   250e-6,
+		latHet.NodeDownLink(7): 250e-6,
+		latHet.CabUpLink(2):    1e-3,
+		latHet.CabDownLink(2):  1e-3,
+	}
+	for _, cl := range []*platform.Cluster{platform.GrelonHet(), platform.Big512Het(), latHet} {
+		t.Run(cl.Name, func(t *testing.T) {
+			est := NewEstimator(cl)
+			if !est.hetLinks {
+				t.Fatalf("cluster %s should take the het-links path", cl.Name)
+			}
+			rng := rand.New(rand.NewSource(7))
+			for iter := 0; iter < 5000; iter++ {
+				src, dst := rng.Intn(cl.P), rng.Intn(cl.P)
+				if src == dst {
+					continue
+				}
+				bw, lat := est.hetFigures(src, dst)
+				if wantBW := cl.EffectiveBandwidth(src, dst); bw != wantBW {
+					t.Fatalf("hetFigures(%d,%d) bw = %g, platform %g", src, dst, bw, wantBW)
+				}
+				if wantLat := cl.RouteLatency(src, dst); lat != wantLat {
+					t.Fatalf("hetFigures(%d,%d) lat = %g, platform %g", src, dst, lat, wantLat)
+				}
+			}
+		})
+	}
+}
+
+// TestHetRedistTimeAllocFree asserts the het fast path stays allocation-
+// free in steady state — the property that closed the pr7-hetero ~2× Map
+// gap (per-block map lookups in EffectiveBandwidth/RouteLatency).
+func TestHetRedistTimeAllocFree(t *testing.T) {
+	for _, cl := range []*platform.Cluster{platform.GrelonHet(), platform.Big512Het()} {
+		t.Run(cl.Name, func(t *testing.T) {
+			est := NewEstimator(cl)
+			rng := rand.New(rand.NewSource(11))
+			senders := randomProcSet(rng, cl, 24)
+			receivers := randomProcSet(rng, cl, 48)
+			est.RedistTime(1e9, senders, receivers) // warm the scratch
+			allocs := testing.AllocsPerRun(50, func() {
+				est.RedistTime(1e9, senders, receivers)
+			})
+			if allocs != 0 {
+				t.Errorf("RedistTime on %s allocates %.1f times per call, want 0", cl.Name, allocs)
+			}
+		})
+	}
+}
+
+// TestEdgeRedistTimeStale exercises the MemoEps staleness bound: with a
+// positive ε, a probe whose receiver order differs from the edge's last
+// computed entry in at most ⌊ε·q⌋ positions reuses that entry's value; a
+// zero ε (the reference behaviour) never does.
+func TestEdgeRedistTimeStale(t *testing.T) {
+	cl := platform.Grelon()
+	senders := []int{0, 1, 2, 3}
+	recvA := []int{10, 11, 12, 13, 14, 15, 16, 17} // q = 8
+	recvB := append([]int(nil), recvA...)
+	recvB[7] = 18 // one position differs: within ε = 0.2 (⌊0.2·8⌋ = 1)
+	recvC := append([]int(nil), recvA...)
+	recvC[6], recvC[7] = 19, 20 // two positions differ: beyond the bound
+
+	exact := NewEstimator(cl)
+	wantB := exact.RedistTime(1e9, senders, recvB)
+	wantC := exact.RedistTime(1e9, senders, recvC)
+
+	est := NewEstimator(cl)
+	est.MemoEps = 0.2
+	a := est.EdgeRedistTime(3, 1e9, senders, recvA)
+	if est.memoStale != 0 {
+		t.Fatalf("first probe counted as stale hit")
+	}
+	if got := est.EdgeRedistTime(3, 1e9, senders, recvB); got != a {
+		t.Errorf("stale-eligible probe = %g, want reused %g", got, a)
+	}
+	if est.memoStale != 1 {
+		t.Errorf("memoStale = %d, want 1", est.memoStale)
+	}
+	// The stale value was re-inserted under recvB's exact key: an identical
+	// probe is an exact hit now, not a second stale reuse.
+	if got := est.EdgeRedistTime(3, 1e9, senders, recvB); got != a {
+		t.Errorf("repeat probe = %g, want %g", got, a)
+	}
+	if est.memoStale != 1 {
+		t.Errorf("memoStale after repeat = %d, want 1", est.memoStale)
+	}
+	// Two differing positions exceed ⌊0.2·8⌋: computed fresh.
+	if got := est.EdgeRedistTime(3, 1e9, senders, recvC); got != wantC {
+		t.Errorf("out-of-bound probe = %g, want fresh %g", got, wantC)
+	}
+	// A different edge has no anchor entry yet: computed fresh.
+	if got := est.EdgeRedistTime(4, 1e9, senders, recvB); got != wantB {
+		t.Errorf("new-edge probe = %g, want fresh %g", got, wantB)
+	}
+	// ε = 0 keeps exact keying: recvB is computed, never reused.
+	ref := NewEstimator(cl)
+	ref.EdgeRedistTime(3, 1e9, senders, recvA)
+	if got := ref.EdgeRedistTime(3, 1e9, senders, recvB); got != wantB {
+		t.Errorf("ε=0 probe = %g, want exact %g", got, wantB)
+	}
+	if ref.memoStale != 0 {
+		t.Errorf("ε=0 memoStale = %d, want 0", ref.memoStale)
+	}
+}

@@ -92,3 +92,45 @@ func TestScheduleGolden(t *testing.T) {
 		})
 	}
 }
+
+// TestScheduleGoldenFast pins the fast-profile schedules (DefaultFast:
+// AlignAuto at FastAlignCap, FastMemoEps, the replay threshold living at
+// the sim layer) on the same cross-section. Every digest coincides with
+// the reference one: the golden graphs' redistributions all sit at or
+// under the cap, where AlignAuto solves them exactly — the profiles only
+// diverge on redistributions wider than FastAlignCap (the ablation's
+// big-scale FFT classes). Both profiles are pinned independently so a
+// change to either is a loud diff.
+func TestScheduleGoldenFast(t *testing.T) {
+	cases := []struct {
+		cl    *platform.Cluster
+		class string
+		st    Strategy
+		want  string
+	}{
+		{platform.Chti(), "layered", StrategyNone, "ff6f807b44b5b7d5"},
+		{platform.Chti(), "strassen", StrategyDelta, "1cc035d5b7bdd568"},
+		{platform.Grillon(), "layered", StrategyDelta, "4074fbdbd92e88a0"},
+		{platform.Grillon(), "irregular", StrategyTimeCost, "d8ada36e34626bd7"},
+		{platform.Grelon(), "fft", StrategyDelta, "e4641bb8606b5fb3"},
+		{platform.Grelon(), "irregular", StrategyNone, "e5fdf96203bf1a1d"},
+		{platform.Grelon(), "layered", StrategyTimeCost, "781187cd6634af75"},
+		{platform.Big512(), "layered", StrategyTimeCost, "e6b8f1d04e8a43a1"},
+		{platform.Big512(), "fft", StrategyDelta, "87d5a91dc813a744"},
+		{platform.Big1024(), "irregular", StrategyTimeCost, "59f614ea7018788a"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(fmt.Sprintf("%s/%s/%v", c.cl.Name, c.class, c.st), func(t *testing.T) {
+			g := goldenGraph(c.class)
+			costs, a := setup(g, c.cl)
+			s := Map(g, costs, c.cl, a, DefaultFast(c.st))
+			if err := s.Validate(g, c.cl); err != nil {
+				t.Fatal(err)
+			}
+			if got := scheduleDigest(s); got != c.want {
+				t.Errorf("schedule digest = %s, want %s (scheduling decisions changed)", got, c.want)
+			}
+		})
+	}
+}

@@ -73,6 +73,20 @@ type Options struct {
 	// maximization). Default: Hungarian.
 	Align redist.AlignMode
 
+	// AlignCap overrides the receiver count up to which AlignAuto still
+	// runs the exact Hungarian assignment (0 = redist.AlignAutoExactCap).
+	// Ignored by the explicit alignment modes. One of the renegotiated
+	// exactness knobs: the ablation harness sweeps it, the fast profile
+	// pins the measured value.
+	AlignCap int
+
+	// MemoEps, when positive, lets the estimator's EdgeRedistTime memo
+	// answer a probe from an entry whose receiver rank order differs in at
+	// most ⌊ε·q⌋ positions instead of re-walking the block matrix (see
+	// Estimator.MemoEps). Zero keeps exact memo keying — the reference
+	// behaviour.
+	MemoEps float64
+
 	// PredOverlap is an ablation of the *baseline* mapping: when true, the
 	// earliest-available processor selection is augmented with candidate
 	// sets overlapping each predecessor's processors (keeping the fixed
@@ -130,6 +144,45 @@ func DefaultNaive(s Strategy) Options {
 		Align:         redist.AlignHungarian,
 		DeltaEFTGuard: true,
 	}
+}
+
+// Fast-profile knob values: the renegotiated exactness point measured by
+// the internal/ablate harness (docs/ablation_pr10.json). Every value sits
+// where the ablation saw zero schedule changes across all scenario classes
+// while shaving mapping and replay latency; rats.ProfileFast bundles them
+// as the default service configuration, DefaultNaive stays the reference.
+const (
+	// FastAlignCap is the AlignAuto exact-assignment cap: redistributions
+	// wider than this fall back to the greedy alignment. 32 is the sweep's
+	// sweet spot — it collapses the Hungarian tail that dominates wide
+	// redistributions (reference Map p99 on big512 is ~870 ms, capped ~3 ms)
+	// at a worst-case makespan delta of 0.011% across all classes, far
+	// inside the 0.5% profile contract.
+	FastAlignCap = 32
+	// FastMemoEps is the estimator memo staleness bound. The ablation
+	// REJECTED a positive ε: across the full sweep the stale-neighbor path
+	// fired 2 times in ~78k probes even at ε = 0.15 — mapping either hits
+	// the exact memo or moves receiver orders wholesale — while the
+	// neighbor comparison slowed big-scale mapping up to 1.6×. The knob
+	// stays plumbed (Options.MemoEps) for workloads with jittery
+	// availability, but the shipped profile keeps exact memo keying.
+	FastMemoEps = 0.0
+	// FastScratchThreshold quadruples the flownet scratch-solve cutoff
+	// (latency-only: all solve regimes are exact; paper-scale replay p50
+	// dropped ~19% in the sweep, big scales were neutral).
+	FastScratchThreshold = 64
+)
+
+// DefaultFast returns the fast-profile mapping options for a strategy:
+// DefaultNaive with the approximation knobs set to the ablation-backed
+// values above. Schedules stay within the ≤0.5% makespan-delta bound the
+// profile contract promises (the ablation's worst case is 0.011%).
+func DefaultFast(s Strategy) Options {
+	o := DefaultNaive(s)
+	o.Align = redist.AlignAuto
+	o.AlignCap = FastAlignCap
+	o.MemoEps = FastMemoEps
+	return o
 }
 
 // Map runs the mapping phase on graph g with the given first-step
@@ -279,6 +332,7 @@ func (m *mapper) ensureWorkers(n int) {
 	}
 	for i := 0; i < n; i++ {
 		m.ws[i].est.Reset()
+		m.ws[i].est.MemoEps = m.opts.MemoEps
 		m.ws[i].nEval = 0
 		m.ws[i].alignScratch.ResetCounters()
 	}
@@ -421,6 +475,7 @@ func (m *mapper) snapshotCounters(c *obs.Counters, workers int) {
 		w := &m.ws[i]
 		c.MemoProbes += w.est.memoProbes
 		c.MemoHits += w.est.memoHits
+		c.MemoStale += w.est.memoStale
 		c.CandEvals += uint64(w.nEval)
 		c.AlignExact += w.alignScratch.NExact
 		c.AlignGreedy += w.alignScratch.NGreedy
@@ -849,5 +904,5 @@ func (m *mapper) alignToHeaviestPred(w *evalWorker, t int, procs []int) []int {
 	if heavy < 0 || bytes == 0 {
 		return append(w.getBuf(), procs...)
 	}
-	return redist.AlignReceiversScratch(w.getBuf(), bytes, m.procs[heavy], procs, m.opts.Align, &w.alignScratch)
+	return redist.AlignReceiversCapped(w.getBuf(), bytes, m.procs[heavy], procs, m.opts.Align, m.opts.AlignCap, &w.alignScratch)
 }

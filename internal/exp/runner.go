@@ -110,6 +110,13 @@ type Runner struct {
 	// per-spec modes, so configurations that sweep alignment themselves —
 	// the root ablation benches — are unaffected.
 	Align *redist.AlignMode
+	// Fast overlays the fast speed profile (the rats.ProfileFast bundle:
+	// size-capped auto alignment, memo staleness bound, raised scratch-solve
+	// threshold) on every algorithm's mapping and replay options. Align
+	// still wins for the alignment mode when both are set. The zero value
+	// keeps each spec's exact reference options, so the package's golden
+	// figures and tables stay bit-for-bit reproducible.
+	Fast bool
 	// MapWorkers shards each scenario's candidate evaluation across this
 	// many lanes inside the mapper (0 or 1 = serial; results are
 	// byte-identical either way). Composes with Workers, which
@@ -149,6 +156,11 @@ func (r *Runner) Run(scens []Scenario, cl *platform.Cluster, algos []AlgoSpec) (
 				taskAlloc = alloc.Compute(g, costs, cl, *spec.Alloc)
 			}
 			mapOpts := spec.Map
+			if r.Fast {
+				mapOpts.Align = redist.AlignAuto
+				mapOpts.AlignCap = core.FastAlignCap
+				mapOpts.MemoEps = core.FastMemoEps
+			}
 			if r.Align != nil {
 				mapOpts.Align = *r.Align
 			}
@@ -159,7 +171,11 @@ func (r *Runner) Run(scens []Scenario, cl *platform.Cluster, algos []AlgoSpec) (
 			sig := scheduleSignature(sched)
 			memo, hit := cache[sig]
 			if !hit {
-				res, err := simdag.ExecuteOpts(g, costs, cl, sched, simdag.Options{Solver: r.Solver})
+				simOpts := simdag.Options{Solver: r.Solver}
+				if r.Fast {
+					simOpts.ScratchThreshold = core.FastScratchThreshold
+				}
+				res, err := simdag.ExecuteOpts(g, costs, cl, sched, simOpts)
 				if err != nil {
 					errs[i] = fmt.Errorf("scenario %s / %s: %w", scens[i].Name(), spec.Name, err)
 					return

@@ -59,14 +59,16 @@ type capKey struct {
 // levels of delta replay instead of re-applying the whole prefix.
 const ckStride = 32
 
-// smallPopulation is the adaptive cutoff below which Solve re-solves from
-// scratch without any bottleneck-log bookkeeping: for tiny populations
-// (the irregular jump=2 scenario classes keep a handful of concurrent
-// flows) progressive filling is cheaper than the merge replay's fixed
-// costs — checkpoint restore, level/fix logging, snapshot maintenance —
-// and the scratch path additionally touches only the live links instead
-// of copying full capacity vectors.
-const smallPopulation = 16
+// DefaultScratchThreshold is the default adaptive cutoff below which Solve
+// re-solves from scratch without any bottleneck-log bookkeeping: for tiny
+// populations (the irregular jump=2 scenario classes keep a handful of
+// concurrent flows) progressive filling is cheaper than the merge replay's
+// fixed costs — checkpoint restore, level/fix logging, snapshot
+// maintenance — and the scratch path additionally touches only the live
+// links instead of copying full capacity vectors. SetScratchThreshold
+// overrides it per network; every solve path computes the same exact
+// max-min rates, so the threshold moves latency only, never a rate.
+const DefaultScratchThreshold = 16
 
 const noLevel = math.MaxInt32
 
@@ -98,7 +100,7 @@ func (n *Net) Solve() {
 	// no levels, no fix entries, no checkpoints, and only the live links'
 	// working state restored. The log is declared untrusted, so the next
 	// above-threshold solve rebuilds it with one full pass.
-	if n.solvable <= smallPopulation {
+	if n.solvable <= n.scratchThreshold() {
 		n.scratchSolves++
 		for _, l := range n.chLinks {
 			// Keep the checkpoint weight base in sync even though the

@@ -36,12 +36,15 @@ type Counters struct {
 	BulkHeapifies uint64 `json:"bulk_heapifies"`
 
 	// Mapping (internal/core): estimator memo probes and hits
-	// (EdgeRedistTime), candidate placements evaluated across all lanes,
+	// (EdgeRedistTime), stale-tolerant memo reuses (the MemoEps knob:
+	// probes answered from a neighbouring receiver order instead of a
+	// fresh block walk), candidate placements evaluated across all lanes,
 	// evaluations skipped by the baseline-versus-reference dedup, and the
 	// receiver rank-alignment decisions — exact Hungarian solves, greedy
 	// solves, and AlignAuto demotions to greedy at the size cap.
 	MemoProbes  uint64 `json:"memo_probes"`
 	MemoHits    uint64 `json:"memo_hits"`
+	MemoStale   uint64 `json:"memo_stale_hits"`
 	CandEvals   uint64 `json:"cand_evals"`
 	DedupSkips  uint64 `json:"dedup_skips"`
 	AlignExact  uint64 `json:"align_exact"`

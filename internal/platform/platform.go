@@ -347,6 +347,12 @@ func (c *Cluster) LinkCapacity(l LinkID) float64 {
 	return c.UplinkBandwidth
 }
 
+// LinkDelay returns the latency in seconds of a directed link, consulting
+// the override map — the latency counterpart of LinkCapacity, exported so
+// estimator-side caches can be built per link id without duplicating the
+// override lookup.
+func (c *Cluster) LinkDelay(l LinkID) float64 { return c.linkLatency(l) }
+
 // linkLatency returns the latency of a directed link, consulting the
 // override map. Only hetero paths call it; uniform routes stay on the
 // closed forms.

@@ -176,9 +176,21 @@ func AlignReceiversInto(dst []int, total float64, senders, receivers []int, mode
 // scratch: with a non-nil sc the call allocates nothing beyond dst growth.
 // Passing a nil scratch uses a temporary one.
 func AlignReceiversScratch(dst []int, total float64, senders, receivers []int, mode AlignMode, sc *AlignScratch) []int {
+	return AlignReceiversCapped(dst, total, senders, receivers, mode, AlignAutoExactCap, sc)
+}
+
+// AlignReceiversCapped is AlignReceiversScratch with an explicit AlignAuto
+// demotion cap: receiver counts up to autoCap run the exact Hungarian
+// assignment, larger ones the deterministic greedy. autoCap ≤ 0 means
+// AlignAutoExactCap. The cap only matters for AlignAuto; the explicit modes
+// ignore it.
+func AlignReceiversCapped(dst []int, total float64, senders, receivers []int, mode AlignMode, autoCap int, sc *AlignScratch) []int {
 	capped := false
 	if mode == AlignAuto {
-		if len(receivers) <= AlignAutoExactCap {
+		if autoCap <= 0 {
+			autoCap = AlignAutoExactCap
+		}
+		if len(receivers) <= autoCap {
 			mode = AlignHungarian
 		} else {
 			mode = AlignGreedy

@@ -276,3 +276,76 @@ func itoa(n int) string {
 	}
 	return string(b[i:])
 }
+
+// TestAlignAutoCapBoundary pins the AlignAuto demotion boundary: a receiver
+// count of exactly the cap still runs the exact Hungarian engine, one above
+// demotes to greedy (and counts as capped), both for the default cap and
+// for an explicit AlignReceiversCapped override.
+func TestAlignAutoCapBoundary(t *testing.T) {
+	run := func(t *testing.T, q, cap int) (exact, greedy, capped uint64) {
+		t.Helper()
+		senders := make([]int, q)
+		receivers := make([]int, q)
+		for i := range senders {
+			senders[i] = i
+			receivers[i] = q/2 + i // half-overlapping: alignment has work to do
+		}
+		var sc AlignScratch
+		AlignReceiversCapped(nil, 1e9, senders, receivers, AlignAuto, cap, &sc)
+		return sc.NExact, sc.NGreedy, sc.NCapped
+	}
+	t.Run("default-cap", func(t *testing.T) {
+		for _, tc := range []struct {
+			q         int
+			wantExact bool
+		}{
+			{AlignAutoExactCap - 1, true},
+			{AlignAutoExactCap, true},
+			{AlignAutoExactCap + 1, false},
+		} {
+			exact, greedy, capped := run(t, tc.q, 0)
+			if tc.wantExact && (exact != 1 || greedy != 0 || capped != 0) {
+				t.Errorf("q=%d: counters (exact=%d greedy=%d capped=%d), want exact engine", tc.q, exact, greedy, capped)
+			}
+			if !tc.wantExact && (exact != 0 || greedy != 1 || capped != 1) {
+				t.Errorf("q=%d: counters (exact=%d greedy=%d capped=%d), want capped greedy", tc.q, exact, greedy, capped)
+			}
+		}
+	})
+	t.Run("explicit-cap", func(t *testing.T) {
+		const cap = 24
+		for _, tc := range []struct {
+			q         int
+			wantExact bool
+		}{
+			{cap - 1, true},
+			{cap, true},
+			{cap + 1, false},
+		} {
+			exact, greedy, capped := run(t, tc.q, cap)
+			if tc.wantExact && (exact != 1 || greedy != 0 || capped != 0) {
+				t.Errorf("q=%d cap=%d: counters (exact=%d greedy=%d capped=%d), want exact engine", tc.q, cap, exact, greedy, capped)
+			}
+			if !tc.wantExact && (exact != 0 || greedy != 1 || capped != 1) {
+				t.Errorf("q=%d cap=%d: counters (exact=%d greedy=%d capped=%d), want capped greedy", tc.q, cap, exact, greedy, capped)
+			}
+		}
+	})
+	t.Run("explicit-modes-ignore-cap", func(t *testing.T) {
+		exact, greedy, _ := run(t, 64, 0)
+		if exact != 1 || greedy != 0 {
+			t.Fatalf("sanity: auto at q=64 should be exact")
+		}
+		senders := make([]int, 64)
+		receivers := make([]int, 64)
+		for i := range senders {
+			senders[i] = i
+			receivers[i] = 32 + i
+		}
+		var sc AlignScratch
+		AlignReceiversCapped(nil, 1e9, senders, receivers, AlignHungarian, 8, &sc)
+		if sc.NExact != 1 || sc.NGreedy != 0 {
+			t.Errorf("AlignHungarian with cap 8: (exact=%d greedy=%d), cap must be ignored", sc.NExact, sc.NGreedy)
+		}
+	})
+}

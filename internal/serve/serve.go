@@ -58,6 +58,7 @@ type ScheduleRequest struct {
 	Strategy    string       `json:"strategy,omitempty"`
 	Allocator   string       `json:"allocator,omitempty"`
 	Alignment   string       `json:"alignment,omitempty"`
+	Profile     string       `json:"profile,omitempty"` // "fast" or "reference"; default ServerConfig.Profile
 	FlowSolver  string       `json:"flow_solver,omitempty"`
 	MinDelta    *float64     `json:"min_delta,omitempty"`
 	MaxDelta    *float64     `json:"max_delta,omitempty"`
@@ -87,7 +88,13 @@ type requestSpec struct {
 	strategy  rats.Strategy
 	allocator rats.Allocator
 	alignment rats.AlignmentMode
+	profile   rats.Profile
 	flow      rats.FlowSolver
+
+	// hasAlignment records an explicit alignment request: only then does
+	// the spec pass WithAlignment, so an absent field keeps the profile's
+	// alignment default instead of pinning Hungarian.
+	hasAlignment bool
 
 	minDelta, maxDelta float64
 	hasDelta           bool
@@ -100,7 +107,7 @@ type requestSpec struct {
 	batchKey   string // batcher key: cluster identity + every option
 }
 
-func parseSpec(req *ScheduleRequest, defaultMapWorkers int) (*requestSpec, error) {
+func parseSpec(req *ScheduleRequest, defaultMapWorkers int, defaultProfile rats.Profile) (*requestSpec, error) {
 	sp := &requestSpec{}
 	switch {
 	case req.ClusterSpec != nil:
@@ -152,6 +159,15 @@ func parseSpec(req *ScheduleRequest, defaultMapWorkers int) (*requestSpec, error
 		if sp.alignment, err = rats.ParseAlignment(req.Alignment); err != nil {
 			return nil, err
 		}
+		sp.hasAlignment = true
+	}
+	// Resolve the profile: an explicit request wins over the server
+	// default (which itself defaults to the library default, ProfileFast).
+	sp.profile = defaultProfile
+	if req.Profile != "" {
+		if sp.profile, err = rats.ParseProfile(req.Profile); err != nil {
+			return nil, err
+		}
 	}
 	if req.FlowSolver != "" {
 		if sp.flow, err = rats.ParseFlowSolver(req.FlowSolver); err != nil {
@@ -193,11 +209,20 @@ func parseSpec(req *ScheduleRequest, defaultMapWorkers int) (*requestSpec, error
 	if sp.hasRho {
 		rho = fmt.Sprintf("%g", sp.minRho)
 	}
-	// mapWorkers is part of the batch key: requests with different lane
-	// counts must not share a batch, since the batch's one Scheduler
-	// carries the setting for every request it executes.
-	sp.batchKey = fmt.Sprintf("%s|%s/%s/%s/%s/%s/%s/%s/mw%d",
-		sp.clusterKey, sp.strategy, sp.allocator, sp.alignment, sp.flow,
+	// The alignment slot distinguishes "explicitly set" from "profile
+	// default": an absent field inherits the profile's alignment, so it
+	// must not share a batch with a request that pinned the same mode by
+	// name under a different profile.
+	align := "default"
+	if sp.hasAlignment {
+		align = sp.alignment.String()
+	}
+	// mapWorkers and the profile are part of the batch key: requests with
+	// different lane counts or exactness profiles must not share a batch,
+	// since the batch's one Scheduler carries the setting for every
+	// request it executes.
+	sp.batchKey = fmt.Sprintf("%s|%s/%s/%s/%s/%s/%s/%s/%s/mw%d",
+		sp.clusterKey, sp.strategy, sp.allocator, align, sp.profile, sp.flow,
 		delta, rho, packing, sp.mapWorkers)
 	return sp, nil
 }
@@ -208,8 +233,11 @@ func (sp *requestSpec) options() []rats.Option {
 		rats.WithCluster(sp.cluster),
 		rats.WithStrategy(sp.strategy),
 		rats.WithAllocator(sp.allocator),
-		rats.WithAlignment(sp.alignment),
+		rats.WithProfile(sp.profile),
 		rats.WithFlowSolver(sp.flow),
+	}
+	if sp.hasAlignment {
+		opts = append(opts, rats.WithAlignment(sp.alignment))
 	}
 	if sp.hasDelta {
 		opts = append(opts, rats.WithDeltaBounds(sp.minDelta, sp.maxDelta))
@@ -241,6 +269,11 @@ type ServerConfig struct {
 	// parallel mapper is byte-identical to the serial one, so this knob
 	// only trades batch throughput against per-request latency.
 	MapWorkers int
+	// Profile is the exactness/speed profile applied to requests that do
+	// not carry the profile field (default rats.ProfileFast, the library
+	// default; set rats.ProfileReference for a service pinned to the
+	// exact oracle pipeline).
+	Profile rats.Profile
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (default
 	// off). Opt-in because profiles expose internals a scheduling service
 	// should not serve on an unrestricted port by default.
@@ -344,7 +377,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, m, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	spec, err := parseSpec(&req, s.cfg.MapWorkers)
+	spec, err := parseSpec(&req, s.cfg.MapWorkers, s.cfg.Profile)
 	if err != nil {
 		m.Status = http.StatusBadRequest
 		s.writeError(w, m, err)

@@ -427,22 +427,115 @@ func TestServeMapWorkers(t *testing.T) {
 
 	// Lane counts are part of the batch key: the same options with
 	// different map_workers must parse to different keys.
-	a, err := parseSpec(&ScheduleRequest{Cluster: "grelon", MapWorkers: 2}, 0)
+	a, err := parseSpec(&ScheduleRequest{Cluster: "grelon", MapWorkers: 2}, 0, rats.ProfileFast)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := parseSpec(&ScheduleRequest{Cluster: "grelon", MapWorkers: 4}, 0)
+	b, err := parseSpec(&ScheduleRequest{Cluster: "grelon", MapWorkers: 4}, 0, rats.ProfileFast)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.batchKey == b.batchKey {
 		t.Fatalf("map_workers 2 and 4 share batch key %q", a.batchKey)
 	}
-	c, err := parseSpec(&ScheduleRequest{Cluster: "grelon"}, 2)
+	c, err := parseSpec(&ScheduleRequest{Cluster: "grelon"}, 2, rats.ProfileFast)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c.batchKey != a.batchKey {
 		t.Fatalf("server default 2 keys %q, explicit 2 keys %q — should batch together", c.batchKey, a.batchKey)
+	}
+}
+
+// TestServedProfileField pins the profile wire field end to end:
+// byte-equality with the library under both profiles (explicit alignment
+// included), the server-side default, batch-key separation, and the 400
+// table for malformed values.
+func TestServedProfileField(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{})
+	d := rats.FFT(16, 2)
+
+	for _, tc := range []struct {
+		name   string
+		libOpt []rats.Option
+		fields map[string]any
+	}{
+		{"absent-defaults-fast",
+			[]rats.Option{rats.WithCluster(rats.Grelon()), rats.WithStrategy(rats.TimeCost)},
+			map[string]any{"cluster": "grelon", "strategy": "time-cost"}},
+		{"explicit-fast",
+			[]rats.Option{rats.WithCluster(rats.Grelon()), rats.WithStrategy(rats.TimeCost), rats.WithProfile(rats.ProfileFast)},
+			map[string]any{"cluster": "grelon", "strategy": "time-cost", "profile": "fast"}},
+		{"reference",
+			[]rats.Option{rats.WithCluster(rats.Grelon()), rats.WithStrategy(rats.TimeCost), rats.WithProfile(rats.ProfileReference)},
+			map[string]any{"cluster": "grelon", "strategy": "time-cost", "profile": "reference"}},
+		{"reference-with-alignment",
+			[]rats.Option{rats.WithCluster(rats.Grelon()), rats.WithStrategy(rats.TimeCost), rats.WithProfile(rats.ProfileReference), rats.WithAlignment(rats.AlignmentGreedy)},
+			map[string]any{"cluster": "grelon", "strategy": "time-cost", "profile": "reference", "alignment": "greedy"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := rats.New(tc.libOpt...).Schedule(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantBlob, err := json.Marshal(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, sr := postSchedule(t, ts.URL, scheduleBody(t, d, tc.fields))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("HTTP %d: %s", resp.StatusCode, sr.Error)
+			}
+			if string(sr.Result) != string(wantBlob) {
+				t.Fatalf("served result diverges from library:\n%s\nvs\n%s", sr.Result, wantBlob)
+			}
+		})
+	}
+
+	// Malformed profiles are 400s, caught before the scheduler.
+	for _, bad := range []map[string]any{
+		{"profile": "fastest"},
+		{"profile": "exact"},
+		{"profile": "ref erence"}, // inner spaces do not trim away
+		{"profile": 3},            // wrong JSON type fails the decode
+	} {
+		resp, sr := postSchedule(t, ts.URL, scheduleBody(t, d, bad))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("fields %v: HTTP %d (%s), want 400", bad, resp.StatusCode, sr.Error)
+		}
+	}
+
+	// The profile is part of the batch key; the alignment slot separates
+	// "explicitly pinned" from "inherited from the profile".
+	pf, err := parseSpec(&ScheduleRequest{}, 0, rats.ProfileFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := parseSpec(&ScheduleRequest{Profile: "reference"}, 0, rats.ProfileFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.batchKey == pr.batchKey {
+		t.Fatalf("fast and reference share batch key %q", pf.batchKey)
+	}
+	al, err := parseSpec(&ScheduleRequest{Alignment: "auto"}, 0, rats.ProfileFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.batchKey == pf.batchKey {
+		t.Fatalf("explicit alignment shares batch key %q with the profile default", al.batchKey)
+	}
+	// A server default of reference batches with an explicit reference.
+	sd, err := parseSpec(&ScheduleRequest{}, 0, rats.ProfileReference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := parseSpec(&ScheduleRequest{Profile: "reference"}, 0, rats.ProfileReference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.batchKey != se.batchKey {
+		t.Fatalf("server-default reference keys %q, explicit reference keys %q — should batch together",
+			sd.batchKey, se.batchKey)
 	}
 }

@@ -79,11 +79,12 @@ func (m AlignmentMode) redistAlign() (redist.AlignMode, error) {
 	return 0, fmt.Errorf("rats: invalid alignment mode %v", m)
 }
 
-// WithAlignment selects the receiver rank-order alignment (default:
-// AlignmentHungarian). Out-of-range values are configuration errors
-// surfaced by the first Schedule or ScheduleAll call.
+// WithAlignment selects the receiver rank-order alignment explicitly,
+// overriding the profile's choice (ProfileFast defaults to AlignmentAuto,
+// ProfileReference to AlignmentHungarian). Out-of-range values are
+// configuration errors surfaced by the first Schedule or ScheduleAll call.
 func WithAlignment(m AlignmentMode) Option {
-	return func(s *Scheduler) { s.alignment = m }
+	return func(s *Scheduler) { s.alignment, s.alignmentSet = m, true }
 }
 
 // Alignment returns the configured alignment mode.
